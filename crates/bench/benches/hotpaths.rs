@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks for the library's hot paths: LBN↔physical
+//! translation, drive request servicing, boundary-table queries, and the
+//! traxtent allocator. These guard the performance of the building blocks
+//! that every figure harness leans on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sim_disk::disk::{Disk, Request};
+use sim_disk::models;
+use sim_disk::SimTime;
+use std::hint::black_box;
+use traxtent::{Extent, TrackBoundaries, TraxtentAllocator};
+
+fn bench_geometry(c: &mut Criterion) {
+    let cfg = models::quantum_atlas_10k_ii();
+    let geom = cfg.geometry;
+    let cap = geom.capacity_lbns();
+    c.bench_function("geometry/lbn_to_pba", |b| {
+        let mut lbn = 0u64;
+        b.iter(|| {
+            lbn = (lbn.wrapping_mul(6364136223846793005).wrapping_add(1)) % cap;
+            black_box(geom.lbn_to_pba(black_box(lbn)).unwrap())
+        })
+    });
+    c.bench_function("geometry/track_bounds", |b| {
+        let mut lbn = 0u64;
+        b.iter(|| {
+            lbn = (lbn.wrapping_mul(6364136223846793005).wrapping_add(1)) % cap;
+            black_box(geom.track_bounds(black_box(lbn)).unwrap())
+        })
+    });
+}
+
+fn bench_disk_service(c: &mut Criterion) {
+    c.bench_function("disk/track_read", |b| {
+        let mut disk = Disk::new(models::quantum_atlas_10k_ii());
+        let mut t = SimTime::ZERO;
+        let mut lbn = 0u64;
+        b.iter(|| {
+            lbn = (lbn + 52800) % 4_000_000;
+            let done = disk.service(Request::read(lbn, 528), t);
+            t = done.completion;
+            black_box(done.completion)
+        })
+    });
+}
+
+fn bench_boundaries(c: &mut Criterion) {
+    let tb = TrackBoundaries::uniform(52_014, 440);
+    c.bench_function("boundaries/clip_to_track", |b| {
+        let mut lbn = 0u64;
+        b.iter(|| {
+            lbn = (lbn.wrapping_mul(2862933555777941757).wrapping_add(3)) % tb.capacity();
+            black_box(tb.clip_to_track(black_box(lbn), 528))
+        })
+    });
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    c.bench_function("alloc/traxtent_alloc_free", |b| {
+        let tb = TrackBoundaries::uniform(4096, 440);
+        b.iter_batched(
+            || TraxtentAllocator::new(tb.clone()),
+            |mut a| {
+                let mut got: Vec<Extent> = Vec::new();
+                for i in 0..64 {
+                    if let Some(e) = a.alloc_traxtent(i * 8111) {
+                        got.push(e);
+                    }
+                }
+                for e in got {
+                    a.free(e);
+                }
+                black_box(a.free_sectors())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_geometry, bench_disk_service, bench_boundaries, bench_allocator);
+criterion_main!(benches);

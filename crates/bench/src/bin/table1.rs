@@ -1,0 +1,35 @@
+//! Table 1: representative disk characteristics, printed from the model
+//! presets alongside what the built geometries actually provide.
+
+use sim_disk::models;
+use traxtent_bench::{header, row};
+
+fn main() {
+    header("Table 1: representative disk characteristics");
+    row([
+        "Disk".into(),
+        "Year".into(),
+        "RPM".into(),
+        "HeadSwitch".into(),
+        "AvgSeek".into(),
+        "SectorsPerTrack".into(),
+        "Tracks".into(),
+        "Capacity".into(),
+        "BuiltCapacityGB".into(),
+    ]);
+    for sheet in models::table1_sheets() {
+        let cfg = sheet.build();
+        let built_gb = cfg.geometry.capacity_lbns() as f64 * 512.0 / 1e9;
+        row([
+            sheet.name.to_string(),
+            sheet.year.to_string(),
+            sheet.rpm.to_string(),
+            format!("{:.1} ms", sheet.head_switch_ms),
+            format!("{:.1} ms", sheet.avg_seek_ms),
+            format!("{}–{}", sheet.spt_outer, sheet.spt_inner),
+            cfg.geometry.num_tracks().to_string(),
+            format!("{:.1} GB", sheet.capacity_gb),
+            format!("{built_gb:.1}"),
+        ]);
+    }
+}

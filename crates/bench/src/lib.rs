@@ -1,0 +1,82 @@
+//! Shared helpers for the figure/table regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! and prints the same rows/series the paper reports:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — representative disk characteristics |
+//! | `fig1` | Figure 1 — disk efficiency vs I/O size, aligned vs unaligned |
+//! | `fig3` | Figure 3 — rotational latency vs request size |
+//! | `fig6` | Figure 6 — head time, onereq/tworeq (+ §5.2 writes via `--writes`) |
+//! | `fig7` | Figure 7 — response-time breakdown |
+//! | `fig8` | Figure 8 — response time ± σ, infinitely fast bus |
+//! | `table2` | Table 2 — FFS application benchmarks |
+//! | `fig9` | Figure 9 — video-server startup latency (+ §5.4.2 via `--hard`) |
+//! | `fig10` | Figure 10 — LFS overall write cost vs segment size |
+//! | `extraction` | §4.1 — track-boundary extraction cost and accuracy |
+//!
+//! Every binary accepts `--seed <n>` and a `--quick` flag that shrinks
+//! sample counts for smoke testing.
+
+/// Command-line convention shared by the binaries: `--quick`, `--seed N`,
+/// plus binary-specific flags.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Reduced sample counts for fast smoke runs.
+    pub quick: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Flags not consumed by the common parser.
+    pub rest: Vec<String>,
+}
+
+impl Cli {
+    /// Parses `std::env::args`, treating `--quick` and `--seed <n>`.
+    pub fn parse() -> Self {
+        let mut quick = false;
+        let mut seed = 0x5eed;
+        let mut rest = Vec::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--seed" => {
+                    seed = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--seed requires an integer");
+                }
+                _ => rest.push(a),
+            }
+        }
+        Cli { quick, seed, rest }
+    }
+
+    /// Whether a flag like `--writes` was passed.
+    pub fn has(&self, flag: &str) -> bool {
+        self.rest.iter().any(|a| a == flag)
+    }
+}
+
+/// Prints a header in the common format.
+pub fn header(title: &str) {
+    println!("# {title}");
+}
+
+/// Prints a row of tab-separated columns.
+pub fn row<I: IntoIterator<Item = String>>(cols: I) {
+    println!("{}", cols.into_iter().collect::<Vec<_>>().join("\t"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cli_defaults() {
+        let cli = Cli { quick: false, seed: 0x5eed, rest: vec!["--writes".into()] };
+        assert!(cli.has("--writes"));
+        assert!(!cli.has("--hard"));
+    }
+}

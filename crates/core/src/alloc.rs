@@ -1,0 +1,338 @@
+//! A boundary-aware free-space manager.
+//!
+//! [`TraxtentAllocator`] tracks free LBN runs and serves three placement
+//! policies, in the order a traxtent-aware file system wants them (§3.2):
+//!
+//! 1. [`alloc_traxtent`](TraxtentAllocator::alloc_traxtent) — a whole track,
+//!    closest to a hint (for large files and LFS segments);
+//! 2. [`alloc_within_track`](TraxtentAllocator::alloc_within_track) — a run
+//!    that does not cross a track boundary (for mid-size files);
+//! 3. [`alloc_near`](TraxtentAllocator::alloc_near) — the closest free run
+//!    regardless of boundaries (the track-unaware fallback).
+
+use crate::boundaries::TrackBoundaries;
+use crate::extent::Extent;
+use std::collections::BTreeMap;
+
+/// Free-space manager over the LBN space described by a boundary table.
+#[derive(Debug, Clone)]
+pub struct TraxtentAllocator {
+    boundaries: TrackBoundaries,
+    /// Free runs: start → length. Invariant: non-overlapping, non-adjacent
+    /// (adjacent runs are coalesced), all within `[0, capacity)`.
+    free: BTreeMap<u64, u64>,
+    free_sectors: u64,
+}
+
+impl TraxtentAllocator {
+    /// Creates an allocator with the entire LBN space free.
+    pub fn new(boundaries: TrackBoundaries) -> Self {
+        let cap = boundaries.capacity();
+        let mut free = BTreeMap::new();
+        free.insert(0, cap);
+        TraxtentAllocator { boundaries, free, free_sectors: cap }
+    }
+
+    /// Creates an allocator with everything allocated (free space is added
+    /// with [`free`](Self::free)).
+    pub fn new_full(boundaries: TrackBoundaries) -> Self {
+        TraxtentAllocator { boundaries, free: BTreeMap::new(), free_sectors: 0 }
+    }
+
+    /// The boundary table in use.
+    pub fn boundaries(&self) -> &TrackBoundaries {
+        &self.boundaries
+    }
+
+    /// Total free sectors.
+    pub fn free_sectors(&self) -> u64 {
+        self.free_sectors
+    }
+
+    /// Number of discontiguous free runs (a fragmentation signal).
+    pub fn free_runs(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Whether the whole extent is currently free.
+    pub fn is_free(&self, ext: Extent) -> bool {
+        match self.free.range(..=ext.start).next_back() {
+            Some((&s, &l)) => s + l >= ext.end(),
+            None => false,
+        }
+    }
+
+    /// Allocates the whole track closest to `near` whose sectors are all
+    /// free. Returns the track extent, or `None` if no fully free track
+    /// remains.
+    pub fn alloc_traxtent(&mut self, near: u64) -> Option<Extent> {
+        let n = self.boundaries.num_tracks();
+        let origin = self.boundaries.track_index(near.min(self.boundaries.capacity() - 1));
+        for idx in ring(origin, n) {
+            let t = self.boundaries.track_extent(idx);
+            if self.is_free(t) {
+                self.take(t);
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Allocates `len` sectors that do not cross a track boundary, as close
+    /// to `near` as possible. Returns `None` if no single track has a free
+    /// run of `len` sectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn alloc_within_track(&mut self, len: u64, near: u64) -> Option<Extent> {
+        assert!(len > 0);
+        let n = self.boundaries.num_tracks();
+        let origin = self.boundaries.track_index(near.min(self.boundaries.capacity() - 1));
+        for idx in ring(origin, n) {
+            let t = self.boundaries.track_extent(idx);
+            if let Some(e) = self.first_fit_within(t, len) {
+                self.take(e);
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    /// Allocates `len` contiguous sectors from the free run closest to
+    /// `near`, ignoring track boundaries (the track-unaware policy used by
+    /// the baseline systems). Returns `None` when no run is long enough.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn alloc_near(&mut self, len: u64, near: u64) -> Option<Extent> {
+        assert!(len > 0);
+        let mut best: Option<(u64, Extent)> = None; // (distance, candidate)
+        // Closest suitable run after `near` (or containing it).
+        for (&s, &l) in self.free.range(..=near).next_back().into_iter().chain(self.free.range(near..)) {
+            if l < len {
+                continue;
+            }
+            // Allocate at max(near, s) if the tail from there still fits,
+            // else at the run start.
+            let at = if near > s && near + len <= s + l { near } else { s };
+            let dist = at.abs_diff(near);
+            if best.map(|(d, _)| dist < d).unwrap_or(true) {
+                best = Some((dist, Extent::new(at, len)));
+            }
+            if s >= near {
+                break; // runs only get farther from here on
+            }
+        }
+        // Also scan backwards for a closer earlier run.
+        let limit = best.map(|(d, _)| d).unwrap_or(u64::MAX);
+        for (&s, &l) in self.free.range(..near).rev() {
+            if near - s > limit.saturating_add(l) {
+                break;
+            }
+            if l >= len {
+                let at = if near > s && near + len <= s + l { near } else { s };
+                let dist = at.abs_diff(near);
+                if best.map(|(d, _)| dist < d).unwrap_or(true) {
+                    best = Some((dist, Extent::new(at, len)));
+                }
+                break;
+            }
+        }
+        let (_, e) = best?;
+        self.take(e);
+        Some(e)
+    }
+
+    /// Frees an extent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any part of the extent is already free or out of range.
+    pub fn free(&mut self, ext: Extent) {
+        assert!(ext.end() <= self.boundaries.capacity(), "free {ext} out of range");
+        // Check no overlap with existing free space.
+        if let Some((&s, &l)) = self.free.range(..ext.end()).next_back() {
+            assert!(s + l <= ext.start, "double free of {ext} (overlaps run [{s}, {})", s + l);
+        }
+        self.free_sectors += ext.len;
+        // Coalesce with predecessor and successor.
+        let mut start = ext.start;
+        let mut end = ext.end();
+        if let Some((&s, &l)) = self.free.range(..start).next_back() {
+            if s + l == start {
+                start = s;
+                self.free.remove(&s);
+            }
+        }
+        if let Some((&s, &l)) = self.free.range(end..).next() {
+            if s == end {
+                end += l;
+                self.free.remove(&s);
+            }
+        }
+        self.free.insert(start, end - start);
+    }
+
+    /// First free sub-run of `len` sectors inside track extent `t`.
+    fn first_fit_within(&self, t: Extent, len: u64) -> Option<Extent> {
+        // Runs that could overlap t: the one starting before t, plus those
+        // starting within it.
+        let before = self
+            .free
+            .range(..t.start)
+            .next_back()
+            .map(|(&s, &l)| Extent::new(s, l))
+            .filter(|r| r.end() > t.start);
+        let within = self.free.range(t.start..t.end()).map(|(&s, &l)| Extent::new(s, l));
+        for run in before.into_iter().chain(within) {
+            if let Some(overlap) = run.intersect(&t) {
+                if overlap.len >= len {
+                    return Some(Extent::new(overlap.start, len));
+                }
+            }
+        }
+        None
+    }
+
+    /// Removes `e` from the free map; `e` must be entirely free.
+    fn take(&mut self, e: Extent) {
+        let (&s, &l) = self.free.range(..=e.start).next_back().expect("allocating free space");
+        debug_assert!(s + l >= e.end(), "take of non-free extent");
+        self.free.remove(&s);
+        if s < e.start {
+            self.free.insert(s, e.start - s);
+        }
+        if e.end() < s + l {
+            self.free.insert(e.end(), s + l - e.end());
+        }
+        self.free_sectors -= e.len;
+    }
+}
+
+/// Yields `origin, origin+1, origin-1, origin+2, …` over `0..n`, visiting
+/// every index exactly once in order of distance from the origin.
+fn ring(origin: usize, n: usize) -> impl Iterator<Item = usize> {
+    std::iter::once(origin).chain((1..n).flat_map(move |step| {
+        let up = origin.checked_add(step).filter(|&i| i < n);
+        let down = origin.checked_sub(step);
+        up.into_iter().chain(down)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boundaries() -> TrackBoundaries {
+        TrackBoundaries::uniform(10, 100)
+    }
+
+    #[test]
+    fn ring_visits_everything_once_starting_near_origin() {
+        let seen: Vec<usize> = ring(3, 6).collect();
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(seen.len(), 6);
+        assert_eq!(seen[0], 3, "origin first");
+    }
+
+    #[test]
+    fn alloc_traxtent_prefers_nearby_track() {
+        let mut a = TraxtentAllocator::new(boundaries());
+        let e = a.alloc_traxtent(350).unwrap();
+        assert_eq!(e, Extent::new(300, 100));
+        // That track is now gone; next closest wins.
+        let e2 = a.alloc_traxtent(350).unwrap();
+        assert!(e2 == Extent::new(400, 100) || e2 == Extent::new(200, 100));
+    }
+
+    #[test]
+    fn alloc_traxtent_exhausts() {
+        let tb = TrackBoundaries::uniform(2, 10);
+        let mut a = TraxtentAllocator::new(tb);
+        assert!(a.alloc_traxtent(0).is_some());
+        assert!(a.alloc_traxtent(0).is_some());
+        assert!(a.alloc_traxtent(0).is_none());
+        assert_eq!(a.free_sectors(), 0);
+    }
+
+    #[test]
+    fn alloc_within_track_never_crosses_boundary() {
+        let mut a = TraxtentAllocator::new(boundaries());
+        for _ in 0..20 {
+            if let Some(e) = a.alloc_within_track(33, 450) {
+                let (s, end) = a.boundaries().track_bounds(e.start);
+                assert!(e.start >= s && e.end() <= end, "{e} crosses a boundary");
+            }
+        }
+    }
+
+    #[test]
+    fn alloc_within_track_fails_for_oversized() {
+        let mut a = TraxtentAllocator::new(boundaries());
+        assert!(a.alloc_within_track(101, 0).is_none());
+        assert!(a.alloc_within_track(100, 0).is_some());
+    }
+
+    #[test]
+    fn alloc_near_can_cross_boundaries() {
+        let mut a = TraxtentAllocator::new(boundaries());
+        let e = a.alloc_near(150, 80).unwrap();
+        assert_eq!(e, Extent::new(80, 150));
+        assert!(!a.is_free(Extent::new(80, 1)));
+        assert!(a.is_free(Extent::new(0, 80)));
+        assert!(a.is_free(Extent::new(230, 1)));
+    }
+
+    #[test]
+    fn alloc_near_finds_earlier_run_when_later_absent() {
+        let tb = TrackBoundaries::uniform(4, 100);
+        let mut a = TraxtentAllocator::new_full(tb);
+        a.free(Extent::new(0, 50));
+        let e = a.alloc_near(30, 399).unwrap();
+        assert_eq!(e.start, 0);
+        assert_eq!(e.len, 30);
+    }
+
+    #[test]
+    fn free_coalesces() {
+        let mut a = TraxtentAllocator::new(boundaries());
+        let e1 = a.alloc_near(100, 0).unwrap();
+        let e2 = a.alloc_near(100, 100).unwrap();
+        assert_eq!(a.free_runs(), 1);
+        a.free(e1);
+        a.free(e2);
+        assert_eq!(a.free_runs(), 1, "freed runs should coalesce");
+        assert_eq!(a.free_sectors(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = TraxtentAllocator::new(boundaries());
+        a.free(Extent::new(0, 10));
+    }
+
+    #[test]
+    fn accounting_is_conserved() {
+        let mut a = TraxtentAllocator::new(boundaries());
+        let total = a.free_sectors();
+        let mut held = Vec::new();
+        for i in 0..8 {
+            if let Some(e) = a.alloc_within_track(37, i * 117) {
+                held.push(e);
+            }
+        }
+        let held_total: u64 = held.iter().map(|e| e.len).sum();
+        assert_eq!(a.free_sectors() + held_total, total);
+        for e in held {
+            a.free(e);
+        }
+        assert_eq!(a.free_sectors(), total);
+        assert_eq!(a.free_runs(), 1);
+    }
+}

@@ -1,0 +1,327 @@
+//! The track-boundary table: which LBNs start each track.
+//!
+//! This is the single piece of disk-specific knowledge a traxtent-aware
+//! system needs (§3 of the paper). It is obtained once — by the `dixtrac`
+//! extraction algorithms or from a vendor tool — then stored with the file
+//! system and consulted at allocation and request-generation time.
+
+use crate::extent::Extent;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error validating a boundary table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundariesError {
+    /// The table is empty.
+    Empty,
+    /// Track starts are not strictly increasing at the given index.
+    NotIncreasing(usize),
+    /// The first track does not start at LBN 0.
+    MissingOrigin,
+    /// The declared capacity does not exceed the last track start.
+    BadCapacity,
+}
+
+impl fmt::Display for BoundariesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundariesError::Empty => write!(f, "boundary table is empty"),
+            BoundariesError::NotIncreasing(i) => {
+                write!(f, "track starts are not strictly increasing at index {i}")
+            }
+            BoundariesError::MissingOrigin => write!(f, "first track must start at lbn 0"),
+            BoundariesError::BadCapacity => {
+                write!(f, "capacity must exceed the last track start")
+            }
+        }
+    }
+}
+
+impl Error for BoundariesError {}
+
+/// A validated table of track boundaries covering LBNs `[0, capacity)`.
+///
+/// Tracks are variable-sized: zoned recording, spare space, and slipped
+/// defects all perturb track lengths, which is why a simple "N sectors per
+/// track" constant does not work on any modern drive.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrackBoundaries {
+    /// Strictly increasing track start LBNs; `starts[0] == 0`.
+    starts: Vec<u64>,
+    /// Total LBNs covered.
+    capacity: u64,
+}
+
+impl TrackBoundaries {
+    /// Builds a table from track start LBNs and the total capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BoundariesError`] unless `starts` begins at 0, is strictly
+    /// increasing, and `capacity` exceeds the last start.
+    pub fn new(starts: Vec<u64>, capacity: u64) -> Result<Self, BoundariesError> {
+        if starts.is_empty() {
+            return Err(BoundariesError::Empty);
+        }
+        if starts[0] != 0 {
+            return Err(BoundariesError::MissingOrigin);
+        }
+        for i in 1..starts.len() {
+            if starts[i] <= starts[i - 1] {
+                return Err(BoundariesError::NotIncreasing(i));
+            }
+        }
+        if capacity <= *starts.last().expect("non-empty") {
+            return Err(BoundariesError::BadCapacity);
+        }
+        Ok(TrackBoundaries { starts, capacity })
+    }
+
+    /// Builds a table from consecutive track lengths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoundariesError::NotIncreasing`] if any length is zero and
+    /// [`BoundariesError::Empty`] for an empty list.
+    pub fn from_track_lengths<I: IntoIterator<Item = u64>>(
+        lengths: I,
+    ) -> Result<Self, BoundariesError> {
+        let mut starts = Vec::new();
+        let mut at = 0u64;
+        for (i, len) in lengths.into_iter().enumerate() {
+            if len == 0 {
+                return Err(BoundariesError::NotIncreasing(i));
+            }
+            starts.push(at);
+            at += len;
+        }
+        Self::new(starts, at)
+    }
+
+    /// A uniform table: `tracks` tracks of `spt` sectors each — adequate
+    /// only for a single zone of a defect-free disk, but handy in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn uniform(tracks: u64, spt: u64) -> Self {
+        assert!(tracks > 0 && spt > 0);
+        Self::from_track_lengths((0..tracks).map(|_| spt)).expect("uniform table is valid")
+    }
+
+    /// Total LBNs covered.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of tracks.
+    pub fn num_tracks(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// The index of the track containing `lbn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lbn` is at or beyond capacity.
+    pub fn track_index(&self, lbn: u64) -> usize {
+        assert!(lbn < self.capacity, "lbn {lbn} beyond capacity {}", self.capacity);
+        self.starts.partition_point(|&s| s <= lbn) - 1
+    }
+
+    /// The `[start, end)` bounds of the track containing `lbn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lbn` is at or beyond capacity.
+    pub fn track_bounds(&self, lbn: u64) -> (u64, u64) {
+        let i = self.track_index(lbn);
+        (self.starts[i], self.track_end(i))
+    }
+
+    /// The extent of track `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn track_extent(&self, i: usize) -> Extent {
+        Extent::new(self.starts[i], self.track_end(i) - self.starts[i])
+    }
+
+    fn track_end(&self, i: usize) -> u64 {
+        self.starts.get(i + 1).copied().unwrap_or(self.capacity)
+    }
+
+    /// Whether `lbn` is the first sector of a track.
+    pub fn is_track_start(&self, lbn: u64) -> bool {
+        self.starts.binary_search(&lbn).is_ok()
+    }
+
+    /// Iterates over all track extents.
+    pub fn iter(&self) -> impl Iterator<Item = Extent> + '_ {
+        (0..self.starts.len()).map(|i| self.track_extent(i))
+    }
+
+    /// Splits an extent at every track boundary it crosses, yielding pieces
+    /// that each lie within a single track.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the extent extends beyond capacity.
+    pub fn split_extent(&self, ext: Extent) -> SplitExtent<'_> {
+        assert!(ext.end() <= self.capacity, "extent {ext} beyond capacity");
+        SplitExtent { table: self, cur: ext.start, end: ext.end() }
+    }
+
+    /// Clips `[start, start + want)` so it does not cross the end of the
+    /// track containing `start`; returns the clipped length (≥ 1 for any
+    /// in-range start).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is at or beyond capacity.
+    pub fn clip_to_track(&self, start: u64, want: u64) -> u64 {
+        let (_, end) = self.track_bounds(start);
+        want.min(end - start)
+    }
+
+    /// The whole-track extents fully contained in `ext` (used to turn a free
+    /// region into traxtents).
+    pub fn contained_tracks(&self, ext: Extent) -> impl Iterator<Item = Extent> + '_ {
+        let first = if ext.start == 0 { 0 } else { self.track_index(ext.start - 1) + 1 };
+        (first..self.num_tracks())
+            .map(|i| self.track_extent(i))
+            .take_while(move |t| t.end() <= ext.end())
+            .filter(move |t| t.start >= ext.start)
+    }
+
+    /// Mean track length in sectors.
+    pub fn mean_track_len(&self) -> f64 {
+        self.capacity as f64 / self.starts.len() as f64
+    }
+}
+
+/// Iterator produced by [`TrackBoundaries::split_extent`].
+#[derive(Debug)]
+pub struct SplitExtent<'a> {
+    table: &'a TrackBoundaries,
+    cur: u64,
+    end: u64,
+}
+
+impl Iterator for SplitExtent<'_> {
+    type Item = Extent;
+
+    fn next(&mut self) -> Option<Extent> {
+        if self.cur >= self.end {
+            return None;
+        }
+        let (_, track_end) = self.table.track_bounds(self.cur);
+        let piece_end = track_end.min(self.end);
+        let e = Extent::new(self.cur, piece_end - self.cur);
+        self.cur = piece_end;
+        Some(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> TrackBoundaries {
+        // Tracks of 100, 99, 101, 100 sectors (defects/spares vary lengths).
+        TrackBoundaries::from_track_lengths([100, 99, 101, 100]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(TrackBoundaries::new(vec![], 10).unwrap_err(), BoundariesError::Empty);
+        assert_eq!(
+            TrackBoundaries::new(vec![1], 10).unwrap_err(),
+            BoundariesError::MissingOrigin
+        );
+        assert_eq!(
+            TrackBoundaries::new(vec![0, 5, 5], 10).unwrap_err(),
+            BoundariesError::NotIncreasing(2)
+        );
+        assert_eq!(
+            TrackBoundaries::new(vec![0, 5], 5).unwrap_err(),
+            BoundariesError::BadCapacity
+        );
+        assert!(TrackBoundaries::new(vec![0, 5], 6).is_ok());
+    }
+
+    #[test]
+    fn lookup_and_bounds() {
+        let tb = table();
+        assert_eq!(tb.capacity(), 400);
+        assert_eq!(tb.num_tracks(), 4);
+        assert_eq!(tb.track_bounds(0), (0, 100));
+        assert_eq!(tb.track_bounds(99), (0, 100));
+        assert_eq!(tb.track_bounds(100), (100, 199));
+        assert_eq!(tb.track_bounds(399), (300, 400));
+        assert!(tb.is_track_start(199));
+        assert!(!tb.is_track_start(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn out_of_range_lookup_panics() {
+        table().track_bounds(400);
+    }
+
+    #[test]
+    fn split_extent_at_boundaries() {
+        let tb = table();
+        let pieces: Vec<Extent> = tb.split_extent(Extent::new(50, 200)).collect();
+        assert_eq!(
+            pieces,
+            vec![Extent::new(50, 50), Extent::new(100, 99), Extent::new(199, 51)]
+        );
+        // Fully inside one track: a single piece.
+        let single: Vec<Extent> = tb.split_extent(Extent::new(210, 30)).collect();
+        assert_eq!(single, vec![Extent::new(210, 30)]);
+    }
+
+    #[test]
+    fn clip_to_track_never_crosses() {
+        let tb = table();
+        assert_eq!(tb.clip_to_track(90, 64), 10);
+        assert_eq!(tb.clip_to_track(100, 64), 64);
+        assert_eq!(tb.clip_to_track(150, 64), 49);
+    }
+
+    #[test]
+    fn contained_tracks_filters_partials() {
+        let tb = table();
+        let tracks: Vec<Extent> = tb.contained_tracks(Extent::new(50, 300)).collect();
+        assert_eq!(tracks, vec![Extent::new(100, 99), Extent::new(199, 101)]);
+        let all: Vec<Extent> = tb.contained_tracks(Extent::new(0, 400)).collect();
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn uniform_table() {
+        let tb = TrackBoundaries::uniform(5, 10);
+        assert_eq!(tb.capacity(), 50);
+        assert_eq!(tb.track_bounds(42), (40, 50));
+        assert!((tb.mean_track_len() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_covers_everything() {
+        let tb = table();
+        let total: u64 = tb.iter().map(|e| e.len).sum();
+        assert_eq!(total, tb.capacity());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let tb = table();
+        // serde is derived; exercise it via the serde_test-free JSON-less
+        // path: clone + eq is enough to assert the derives compile, so just
+        // check Debug is non-empty per C-DEBUG-NONEMPTY.
+        assert!(!format!("{tb:?}").is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Extents: half-open LBN ranges.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open range of logical block numbers `[start, start + len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Extent {
+    /// First LBN.
+    pub start: u64,
+    /// Number of sectors (always positive).
+    pub len: u64,
+}
+
+impl Extent {
+    /// Creates an extent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or the range overflows `u64`.
+    pub fn new(start: u64, len: u64) -> Self {
+        assert!(len > 0, "extent length must be positive");
+        assert!(start.checked_add(len).is_some(), "extent overflows the LBN space");
+        Extent { start, len }
+    }
+
+    /// Creates an extent from half-open bounds, or `None` if empty.
+    pub fn from_bounds(start: u64, end: u64) -> Option<Self> {
+        (end > start).then(|| Extent::new(start, end - start))
+    }
+
+    /// One past the last LBN.
+    pub fn end(&self) -> u64 {
+        self.start + self.len
+    }
+
+    /// Whether `lbn` falls inside the extent.
+    pub fn contains(&self, lbn: u64) -> bool {
+        (self.start..self.end()).contains(&lbn)
+    }
+
+    /// Whether two extents share any LBN.
+    pub fn overlaps(&self, other: &Extent) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+
+    /// Whether `other` lies entirely within `self`.
+    pub fn contains_extent(&self, other: &Extent) -> bool {
+        self.start <= other.start && other.end() <= self.end()
+    }
+
+    /// The overlap of two extents, if any.
+    pub fn intersect(&self, other: &Extent) -> Option<Extent> {
+        Extent::from_bounds(self.start.max(other.start), self.end().min(other.end()))
+    }
+
+    /// Splits at an absolute LBN, returning the (left, right) parts. Either
+    /// may be `None` if the cut falls at or outside an edge.
+    pub fn split_at(&self, lbn: u64) -> (Option<Extent>, Option<Extent>) {
+        (
+            Extent::from_bounds(self.start, lbn.min(self.end())),
+            Extent::from_bounds(lbn.max(self.start), self.end()),
+        )
+    }
+}
+
+impl fmt::Display for Extent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let e = Extent::new(10, 5);
+        assert_eq!(e.end(), 15);
+        assert!(e.contains(10) && e.contains(14) && !e.contains(15));
+        assert_eq!(format!("{e}"), "[10, 15)");
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn zero_len_panics() {
+        let _ = Extent::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn overflow_panics() {
+        let _ = Extent::new(u64::MAX, 2);
+    }
+
+    #[test]
+    fn from_bounds_rejects_empty() {
+        assert_eq!(Extent::from_bounds(5, 5), None);
+        assert_eq!(Extent::from_bounds(6, 5), None);
+        assert_eq!(Extent::from_bounds(5, 7), Some(Extent::new(5, 2)));
+    }
+
+    #[test]
+    fn overlap_and_containment() {
+        let a = Extent::new(0, 10);
+        let b = Extent::new(5, 10);
+        let c = Extent::new(10, 5);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(a.contains_extent(&Extent::new(2, 8)));
+        assert!(!a.contains_extent(&b));
+        assert_eq!(a.intersect(&b), Some(Extent::new(5, 5)));
+        assert_eq!(a.intersect(&c), None);
+    }
+
+    #[test]
+    fn split_at_edges() {
+        let e = Extent::new(10, 10);
+        assert_eq!(e.split_at(10), (None, Some(e)));
+        assert_eq!(e.split_at(20), (Some(e), None));
+        assert_eq!(
+            e.split_at(15),
+            (Some(Extent::new(10, 5)), Some(Extent::new(15, 5)))
+        );
+        assert_eq!(e.split_at(5), (None, Some(e)));
+        assert_eq!(e.split_at(25), (Some(e), None));
+    }
+}

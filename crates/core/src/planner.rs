@@ -1,0 +1,213 @@
+//! Track-aware request generation.
+//!
+//! After allocation places data on track boundaries, the request path must
+//! also be taught to *issue* traxtent requests: prefetch and write-back
+//! requests are extended or clipped so no request crosses a track boundary
+//! (§3.2 of the paper).
+
+use crate::boundaries::TrackBoundaries;
+use crate::extent::Extent;
+
+/// Plans request sizes against a boundary table.
+#[derive(Debug, Clone)]
+pub struct RequestPlanner {
+    boundaries: TrackBoundaries,
+}
+
+impl RequestPlanner {
+    /// Creates a planner.
+    pub fn new(boundaries: TrackBoundaries) -> Self {
+        RequestPlanner { boundaries }
+    }
+
+    /// The boundary table in use.
+    pub fn boundaries(&self) -> &TrackBoundaries {
+        &self.boundaries
+    }
+
+    /// Plans a prefetch starting at `start`: the caller wants `want` sectors
+    /// and can tolerate up to `cap`; the planner clips the request at the
+    /// next track boundary, and — when `start` opens a track — extends it to
+    /// cover the full track even if `want` is smaller (a traxtent-sized
+    /// fetch), still respecting `cap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is at or beyond capacity or `want` is zero.
+    pub fn plan_prefetch(&self, start: u64, want: u64, cap: u64) -> u64 {
+        assert!(want > 0, "prefetch of zero sectors");
+        let (tstart, tend) = self.boundaries.track_bounds(start);
+        let track_remaining = tend - start;
+        let len = if start == tstart { track_remaining.max(want) } else { want };
+        len.min(track_remaining).min(cap.max(1))
+    }
+
+    /// Plans a write-back of dirty data `[start, start + want)`: the request
+    /// is clipped at the next track boundary so each disk write stays within
+    /// one track.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is at or beyond capacity or `want` is zero.
+    pub fn plan_writeback(&self, start: u64, want: u64) -> u64 {
+        assert!(want > 0, "write-back of zero sectors");
+        self.boundaries.clip_to_track(start, want)
+    }
+
+    /// Splits an arbitrary transfer into track-aligned pieces, each of which
+    /// becomes one disk request.
+    pub fn split(&self, ext: Extent) -> Vec<Extent> {
+        self.boundaries.split_extent(ext).collect()
+    }
+
+    /// True if `[start, start+len)` stays within one track.
+    pub fn is_track_local(&self, start: u64, len: u64) -> bool {
+        let (_, end) = self.boundaries.track_bounds(start);
+        start + len <= end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planner() -> RequestPlanner {
+        RequestPlanner::new(TrackBoundaries::from_track_lengths([100, 99, 101]).unwrap())
+    }
+
+    #[test]
+    fn prefetch_from_track_start_takes_whole_track() {
+        let p = planner();
+        assert_eq!(p.plan_prefetch(0, 8, 1_000), 100);
+        assert_eq!(p.plan_prefetch(100, 8, 1_000), 99);
+    }
+
+    #[test]
+    fn prefetch_mid_track_clips_at_boundary() {
+        let p = planner();
+        assert_eq!(p.plan_prefetch(90, 64, 1_000), 10);
+        assert_eq!(p.plan_prefetch(150, 8, 1_000), 8);
+    }
+
+    #[test]
+    fn prefetch_respects_cap() {
+        let p = planner();
+        assert_eq!(p.plan_prefetch(0, 8, 32), 32);
+        assert_eq!(p.plan_prefetch(0, 8, 0), 1, "cap clamps to at least one sector");
+    }
+
+    #[test]
+    fn writeback_clips() {
+        let p = planner();
+        assert_eq!(p.plan_writeback(95, 64), 5);
+        assert_eq!(p.plan_writeback(100, 64), 64);
+        assert_eq!(p.plan_writeback(100, 200), 99);
+    }
+
+    #[test]
+    fn split_covers_without_crossing() {
+        let p = planner();
+        let pieces = p.split(Extent::new(0, 300));
+        assert_eq!(pieces.len(), 3);
+        for e in &pieces {
+            assert!(p.is_track_local(e.start, e.len), "{e} crosses a track");
+        }
+        assert_eq!(pieces.iter().map(|e| e.len).sum::<u64>(), 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero sectors")]
+    fn zero_prefetch_panics() {
+        planner().plan_prefetch(0, 0, 10);
+    }
+}
+
+/// Generalized boundary planning: §1 notes that variable-sized extents let
+/// a file system honor *other* boundary-related goals with the same
+/// machinery — e.g. matching writes to RAID 5 stripe boundaries to avoid
+/// read-modify-write cycles. `StripePlanner` composes a stripe grid with a
+/// track-boundary table: requests are clipped at whichever boundary comes
+/// first.
+#[derive(Debug, Clone)]
+pub struct StripePlanner {
+    tracks: RequestPlanner,
+    /// Stripe unit in sectors.
+    stripe: u64,
+}
+
+impl StripePlanner {
+    /// Creates a planner over `boundaries` with the given stripe unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stripe_sectors` is zero.
+    pub fn new(boundaries: TrackBoundaries, stripe_sectors: u64) -> Self {
+        assert!(stripe_sectors > 0, "stripe unit must be positive");
+        StripePlanner { tracks: RequestPlanner::new(boundaries), stripe: stripe_sectors }
+    }
+
+    /// Next stripe boundary strictly after `lbn`.
+    pub fn next_stripe_boundary(&self, lbn: u64) -> u64 {
+        (lbn / self.stripe + 1) * self.stripe
+    }
+
+    /// Plans a write-back clipped at both the next track boundary and the
+    /// next stripe boundary, so a full-stripe write never degenerates into
+    /// a read-modify-write and a track write never crosses a track.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is at or beyond capacity or `want` is zero.
+    pub fn plan_writeback(&self, start: u64, want: u64) -> u64 {
+        let track_clipped = self.tracks.plan_writeback(start, want);
+        track_clipped.min(self.next_stripe_boundary(start) - start)
+    }
+
+    /// True if `[start, start+len)` crosses neither kind of boundary.
+    pub fn is_local(&self, start: u64, len: u64) -> bool {
+        self.tracks.is_track_local(start, len) && start + len <= self.next_stripe_boundary(start)
+    }
+}
+
+#[cfg(test)]
+mod stripe_tests {
+    use super::*;
+
+    #[test]
+    fn clips_at_the_nearer_boundary() {
+        // Tracks of 100, stripes of 64.
+        let tb = TrackBoundaries::uniform(10, 100);
+        let p = StripePlanner::new(tb, 64);
+        // From 0: stripe ends at 64, track at 100 → clip at 64.
+        assert_eq!(p.plan_writeback(0, 1000), 64);
+        // From 70: track ends at 100, stripe at 128 → clip at 100.
+        assert_eq!(p.plan_writeback(70, 1000), 30);
+        // Small writes untouched.
+        assert_eq!(p.plan_writeback(10, 5), 5);
+    }
+
+    #[test]
+    fn locality_respects_both_grids() {
+        let tb = TrackBoundaries::uniform(10, 100);
+        let p = StripePlanner::new(tb, 64);
+        assert!(p.is_local(0, 64));
+        assert!(!p.is_local(0, 65));
+        assert!(p.is_local(64, 36));
+        assert!(!p.is_local(64, 37), "crosses the track at 100");
+    }
+
+    #[test]
+    fn stripe_boundary_math() {
+        let tb = TrackBoundaries::uniform(4, 100);
+        let p = StripePlanner::new(tb, 64);
+        assert_eq!(p.next_stripe_boundary(0), 64);
+        assert_eq!(p.next_stripe_boundary(63), 64);
+        assert_eq!(p.next_stripe_boundary(64), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "stripe unit must be positive")]
+    fn zero_stripe_rejected() {
+        let _ = StripePlanner::new(TrackBoundaries::uniform(2, 10), 0);
+    }
+}

@@ -1,0 +1,496 @@
+//! The general, interface-agnostic extraction algorithm (§4.1.1).
+//!
+//! Only `READ` timing is used — no diagnostic commands — so the algorithm
+//! must overcome three obstacles the paper calls out:
+//!
+//! * **Rotational-latency variance**: probes are issued at a controlled
+//!   offset within the rotational period. Each probe context calibrates the
+//!   offset that minimizes a one-sector read's response time (head arrives
+//!   just before the sector) and then keeps the residual rotational wait
+//!   within a small budget by re-measuring one-sector reads as it walks.
+//! * **Firmware caching**: many extraction streams at widespread disk
+//!   locations proceed round-robin, so the segmented cache is churned
+//!   between two probes of the same location (the paper interleaves 100).
+//!   Each probe is additionally preceded by a positioning *write* to the
+//!   context's anchor sector, which both parks the head at a fixed cylinder
+//!   (making the probe's seek constant) and never hits the cache.
+//! * **Arbitrary boundaries**: with the rotational wait controlled, the
+//!   response of `read(S, N)` grows by one sector time per added sector
+//!   while the request stays on one track, and jumps by a head-switch time
+//!   (plus realignment) as soon as it crosses a boundary. The smallest
+//!   crossing `N` is found by verify-then-binary-search, exactly as in the
+//!   paper: the common case (next track same size) is confirmed with two
+//!   probes.
+
+use scsi::ScsiDisk;
+use sim_disk::{SimDur, SimTime};
+use traxtent::TrackBoundaries;
+
+/// Tuning for the general extractor.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneralConfig {
+    /// Number of interleaved probe streams (must exceed the firmware cache's
+    /// segment count to defeat it; the paper uses 100).
+    pub contexts: usize,
+    /// Phases tried during per-context rotational calibration.
+    pub calibration_phases: u32,
+    /// Response-time excess over one revolution that classifies a probe as
+    /// having crossed a track boundary (about half a head-switch time).
+    pub cross_threshold: SimDur,
+    /// Residual rotational wait tolerated before re-aligning the probe
+    /// phase, as a fraction of a revolution.
+    pub rot_budget_frac: f64,
+}
+
+impl Default for GeneralConfig {
+    fn default() -> Self {
+        GeneralConfig {
+            contexts: 100,
+            calibration_phases: 32,
+            cross_threshold: SimDur::from_micros_f64(250.0),
+            rot_budget_frac: 1.0 / 32.0,
+        }
+    }
+}
+
+/// The outcome of a general extraction.
+#[derive(Debug, Clone)]
+pub struct GeneralExtraction {
+    /// The extracted boundary table.
+    pub boundaries: TrackBoundaries,
+    /// Total timed probe reads issued.
+    pub probe_reads: u64,
+    /// Probes per extracted track.
+    pub probes_per_track: f64,
+    /// Simulated wall-clock time the extraction took.
+    pub elapsed: SimTime,
+}
+
+/// What a context is currently doing.
+#[derive(Debug, Clone, Copy)]
+enum State {
+    /// Trying calibration phase `i`; best (response, phase) so far.
+    Calibrate { i: u32, best_r: SimDur, best_phase: SimDur },
+    /// Re-measuring the one-sector baseline at the current phase.
+    Baseline { attempts: u32 },
+    /// Measuring the linear model's slope: point `i` of the 17/33/49-sector
+    /// ladder, with the responses gathered so far.
+    SlotProbe { i: u8, r: [SimDur; 3] },
+    /// Verifying that `spt_est` sectors do not cross.
+    VerifyLow,
+    /// Verifying that `spt_est + 1` sectors do cross.
+    VerifyHigh,
+    /// Doubling `hi` until a crossing is found; `lo` is known non-crossing.
+    SearchUp { lo: u64, hi: u64 },
+    /// Bisecting: `lo` non-crossing, `hi` crossing.
+    Bisect { lo: u64, hi: u64 },
+    /// Region finished.
+    Done,
+}
+
+/// One interleaved probe stream.
+#[derive(Debug)]
+struct Context {
+    /// End of the region this context is responsible for.
+    region_end: u64,
+    /// Start of the track currently being measured.
+    s: u64,
+    /// Issue phase within the revolution.
+    phase: SimDur,
+    /// Smallest one-sector response observed (rotational wait ≈ 0).
+    floor_r1: SimDur,
+    /// One-sector response at the current track/phase (the comparison base).
+    baseline: SimDur,
+    /// Predicted sectors per track.
+    spt_est: Option<u64>,
+    /// Measured per-sector response-time slope (the linear model of §4.1.1).
+    slope: Option<SimDur>,
+    /// The track start the slope was measured at, to spot staleness when a
+    /// prediction fails (e.g. on zone changes, where the sector time moves).
+    slope_at: Option<u64>,
+    state: State,
+    /// Track starts found (first entry is the first boundary at or after the
+    /// region start).
+    found: Vec<u64>,
+}
+
+/// Runs the general extraction over the whole disk.
+///
+/// # Panics
+///
+/// Panics if `config.contexts` is zero or exceeds the number of LBNs.
+pub fn extract_general(disk: &mut ScsiDisk, config: &GeneralConfig) -> GeneralExtraction {
+    let capacity = disk.read_capacity();
+    let rev = disk.revolution();
+    assert!(config.contexts > 0, "need at least one context");
+    assert!((config.contexts as u64) <= capacity, "more contexts than sectors");
+
+    let mut contexts: Vec<Context> = (0..config.contexts)
+        .map(|i| {
+            let start = capacity * i as u64 / config.contexts as u64;
+            let end = capacity * (i as u64 + 1) / config.contexts as u64;
+            Context {
+                region_end: end,
+                s: start,
+                phase: SimDur::ZERO,
+                floor_r1: SimDur::from_secs_f64(f64::MAX / 1e18),
+                baseline: SimDur::ZERO,
+                spt_est: None,
+                slope: None,
+                slope_at: None,
+                state: State::Calibrate {
+                    i: 0,
+                    best_r: SimDur::from_secs_f64(3600.0),
+                    best_phase: SimDur::ZERO,
+                },
+                found: Vec::new(),
+            }
+        })
+        .collect();
+
+    let mut probe_reads = 0u64;
+    let mut active = contexts.len();
+    while active > 0 {
+        for ctx in &mut contexts {
+            if matches!(ctx.state, State::Done) {
+                continue;
+            }
+            step(disk, ctx, rev, capacity, config, &mut probe_reads);
+            if matches!(ctx.state, State::Done) {
+                active -= 1;
+            }
+        }
+    }
+
+    // Merge: all discovered boundaries, plus the origin.
+    let mut starts: Vec<u64> = contexts.iter().flat_map(|c| c.found.iter().copied()).collect();
+    starts.push(0);
+    starts.sort_unstable();
+    starts.dedup();
+    starts.retain(|&b| b < capacity);
+    let boundaries =
+        TrackBoundaries::new(starts, capacity).expect("merged boundary table is valid");
+
+    GeneralExtraction {
+        probes_per_track: probe_reads as f64 / boundaries.num_tracks() as f64,
+        probe_reads,
+        elapsed: disk.elapsed(),
+        boundaries,
+    }
+}
+
+/// Executes one probe for the context and advances its state machine.
+fn step(
+    disk: &mut ScsiDisk,
+    ctx: &mut Context,
+    rev: SimDur,
+    capacity: u64,
+    config: &GeneralConfig,
+    probe_reads: &mut u64,
+) {
+    // Positioning write at the probe target itself: it parks the head on
+    // the target track (making the probe's non-rotational cost constant
+    // across the whole walk) and — because a write invalidates its sectors
+    // in the firmware cache — guarantees the timed read that follows cannot
+    // be a cache hit, even when most other probe streams have finished and
+    // the interleave alone no longer churns the cache. One scratch sector
+    // per track is sacrificed; the paper notes the destructiveness of
+    // write-based probing, which is why the production path is the
+    // SCSI-specific extractor.
+    let _ = disk.write_at(ctx.s, 1);
+
+    let probe = |disk: &mut ScsiDisk, lbn: u64, len: u64, phase: SimDur, n: &mut u64| -> SimDur {
+        *n += 1;
+        let now = disk.elapsed();
+        // Next instant at or after `now` whose offset within the revolution
+        // equals `phase`.
+        let rev_ns = rev.as_ns();
+        let now_off = now.as_ns() % rev_ns;
+        let wait = (phase.as_ns() + rev_ns - now_off) % rev_ns;
+        let at = now + SimDur::from_ns(wait);
+        let c = disk.read_at_time(lbn, len, at);
+        c.response_time()
+    };
+
+    // The linear model of §4.1.1: a non-crossing `read(s, n)` responds in
+    // `baseline + (n − 1) × slope`; a boundary crossing adds a head switch
+    // plus realignment, far above the threshold. Requests running past the
+    // end of the disk cross by definition.
+    let crosses = |r: SimDur, baseline: SimDur, slope: SimDur, n: u64| -> bool {
+        r > baseline + slope * (n - 1) + config.cross_threshold
+    };
+
+    match ctx.state {
+        State::Calibrate { i, best_r, best_phase } => {
+            let phase = SimDur::from_ns(rev.as_ns() * u64::from(i) / u64::from(config.calibration_phases));
+            let r = probe(disk, ctx.s, 1, phase, probe_reads);
+            let (best_r, best_phase) = if r < best_r { (r, phase) } else { (best_r, best_phase) };
+            if i + 1 < config.calibration_phases {
+                ctx.state = State::Calibrate { i: i + 1, best_r, best_phase };
+            } else {
+                ctx.phase = best_phase;
+                ctx.floor_r1 = ctx.floor_r1.min(best_r);
+                ctx.baseline = best_r;
+                ctx.state = State::SlotProbe { i: 0, r: [SimDur::ZERO; 3] };
+            }
+        }
+        State::SlotProbe { i, mut r } => {
+            let lens = [17u64, 33, 49];
+            if ctx.s + 49 > capacity {
+                // Too little disk left for slope probing; a conservative
+                // zero slope is safe for the few sectors that remain.
+                ctx.slope = Some(SimDur::ZERO);
+                ctx.slope_at = Some(ctx.s);
+                ctx.state = next_measure_state(ctx, capacity);
+                return;
+            }
+            r[i as usize] = probe(disk, ctx.s, lens[i as usize], ctx.phase, probe_reads);
+            if usize::from(i) + 1 < lens.len() {
+                ctx.state = State::SlotProbe { i: i + 1, r };
+                return;
+            }
+            // Per-sector slope over three 16-sector windows. A slipped
+            // defect or a track boundary inside a window only ever inflates
+            // it, so the *minimum* of the windows is the clean sector time
+            // whenever at least one window is clean — which makes the linear
+            // model immune to the defects that perturb track sizes in the
+            // first place. One pathology must be filtered first: when two
+            // consecutive windows both cross into a rotationally phase-
+            // locked next track, their difference measures only the *bus*
+            // time per sector. No drive has more than ~1024 sectors per
+            // track, so any window below rev/1024 is physically impossible
+            // as a media rate and is discarded.
+            let floor = SimDur::from_ns(rev.as_ns() / 1024);
+            let windows = [
+                r[0].saturating_sub(ctx.baseline) / 16,
+                r[1].saturating_sub(r[0]) / 16,
+                r[2].saturating_sub(r[1]) / 16,
+            ];
+            let slope = windows
+                .iter()
+                .copied()
+                .filter(|&w| w >= floor)
+                .min()
+                .unwrap_or(floor);
+            ctx.slope = Some(slope);
+            ctx.slope_at = Some(ctx.s);
+            ctx.state = next_measure_state(ctx, capacity);
+        }
+        State::Baseline { attempts } => {
+            let r = probe(disk, ctx.s, 1, ctx.phase, probe_reads);
+            ctx.floor_r1 = ctx.floor_r1.min(r);
+            let excess = r.saturating_sub(ctx.floor_r1);
+            let budget = SimDur::from_ns((rev.as_ns() as f64 * config.rot_budget_frac) as u64);
+            if excess <= budget {
+                ctx.baseline = r;
+                ctx.state = if ctx.slope.is_some() {
+                    next_measure_state(ctx, capacity)
+                } else {
+                    State::SlotProbe { i: 0, r: [SimDur::ZERO; 3] }
+                };
+            } else if attempts < 3 {
+                // Shift the issue phase so the head arrives just before the
+                // sector instead of `excess` early.
+                let target = SimDur::from_ns(rev.as_ns() / 128);
+                ctx.phase = SimDur::from_ns(
+                    (ctx.phase.as_ns() + excess.saturating_sub(target).as_ns()) % rev.as_ns(),
+                );
+                ctx.state = State::Baseline { attempts: attempts + 1 };
+            } else {
+                // Persistent drift (e.g. zone change altered the layout):
+                // recalibrate from scratch.
+                ctx.state = State::Calibrate {
+                    i: 0,
+                    best_r: SimDur::from_secs_f64(3600.0),
+                    best_phase: SimDur::ZERO,
+                };
+            }
+        }
+        State::VerifyLow => {
+            let p = ctx.spt_est.expect("verify requires a prediction");
+            if ctx.s + p >= capacity {
+                ctx.state = State::Bisect { lo: 1, hi: capacity - ctx.s + 1 };
+                return;
+            }
+            let r = probe(disk, ctx.s, p, ctx.phase, probe_reads);
+            if crosses(r, ctx.baseline, ctx.slope.expect("slope measured"), p) {
+                if ctx.slope_at == Some(ctx.s) {
+                    // The prediction overshot: bisect below it.
+                    ctx.state = State::Bisect { lo: 1, hi: p };
+                } else {
+                    // The failed prediction may mean the layout changed under
+                    // us (zone boundary): re-measure the slope here first.
+                    ctx.state = State::SlotProbe { i: 0, r: [SimDur::ZERO; 3] };
+                }
+            } else {
+                ctx.state = State::VerifyHigh;
+            }
+        }
+        State::VerifyHigh => {
+            let p = ctx.spt_est.expect("verify requires a prediction");
+            if ctx.s + p + 1 > capacity {
+                // The predicted track would end exactly at (or past) the end
+                // of the disk.
+                finish_track(ctx, (capacity - ctx.s).min(p), capacity);
+                return;
+            }
+            let r = probe(disk, ctx.s, p + 1, ctx.phase, probe_reads);
+            if crosses(r, ctx.baseline, ctx.slope.expect("slope measured"), p + 1) {
+                finish_track(ctx, p, capacity);
+            } else if ctx.slope_at == Some(ctx.s) {
+                ctx.state = State::SearchUp { lo: p + 1, hi: (p + 1) * 2 };
+            } else {
+                ctx.state = State::SlotProbe { i: 0, r: [SimDur::ZERO; 3] };
+            }
+        }
+        State::SearchUp { lo, hi } => {
+            if ctx.s + hi > capacity {
+                ctx.state = State::Bisect { lo, hi: capacity - ctx.s + 1 };
+                return;
+            }
+            let r = probe(disk, ctx.s, hi, ctx.phase, probe_reads);
+            if crosses(r, ctx.baseline, ctx.slope.expect("slope measured"), hi) {
+                ctx.state = State::Bisect { lo, hi };
+            } else {
+                ctx.state = State::SearchUp { lo: hi, hi: hi * 2 };
+            }
+        }
+        State::Bisect { lo, hi } => {
+            if hi - lo <= 1 {
+                finish_track(ctx, lo, capacity);
+                return;
+            }
+            let mid = lo + (hi - lo) / 2;
+            let r = probe(disk, ctx.s, mid, ctx.phase, probe_reads);
+            if crosses(r, ctx.baseline, ctx.slope.expect("slope measured"), mid) {
+                ctx.state = State::Bisect { lo, hi: mid };
+            } else {
+                ctx.state = State::Bisect { lo: mid, hi };
+            }
+        }
+        State::Done => {}
+    }
+}
+
+/// Chooses what to do at a fresh `s` once the baseline is trustworthy.
+fn next_measure_state(ctx: &Context, capacity: u64) -> State {
+    match ctx.spt_est {
+        Some(_) => State::VerifyLow,
+        None => {
+            // No prediction yet: find an upper bound by doubling.
+            let hi = 2u64.min(capacity - ctx.s);
+            State::SearchUp { lo: 1, hi }
+        }
+    }
+}
+
+/// Records the boundary at `s + spt` and advances to the next track (or
+/// finishes the region).
+fn finish_track(ctx: &mut Context, spt: u64, capacity: u64) {
+    let boundary = ctx.s + spt;
+    // A changed track size (zone boundary, spare area) may also change the
+    // per-sector slope: measure it afresh on the next track.
+    if ctx.spt_est != Some(spt) {
+        ctx.slope = None;
+    }
+    ctx.spt_est = Some(spt);
+    if boundary >= capacity {
+        ctx.state = State::Done;
+        return;
+    }
+    ctx.found.push(boundary);
+    ctx.s = boundary;
+    if ctx.s >= ctx.region_end {
+        ctx.state = State::Done;
+    } else {
+        ctx.state = State::Baseline { attempts: 0 };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_disk::defects::{DefectPolicy, SpareScheme};
+    use sim_disk::disk::Disk;
+    use sim_disk::models;
+
+    fn ground_truth(disk: &Disk) -> TrackBoundaries {
+        let starts: Vec<u64> = disk
+            .geometry()
+            .iter_tracks()
+            .filter(|(_, t)| t.lbn_count() > 0)
+            .map(|(_, t)| t.first_lbn())
+            .collect();
+        TrackBoundaries::new(starts, disk.geometry().capacity_lbns()).unwrap()
+    }
+
+    fn test_config() -> GeneralConfig {
+        // Fewer contexts than the paper's 100 (the test disk is small), but
+        // still comfortably above the 10 cache segments.
+        GeneralConfig { contexts: 24, ..GeneralConfig::default() }
+    }
+
+    #[test]
+    fn pristine_small_disk_extracts_exactly() {
+        let disk = Disk::new(models::small_test_disk());
+        let expect = ground_truth(&disk);
+        let mut s = ScsiDisk::new(disk);
+        let got = extract_general(&mut s, &test_config());
+        assert_eq!(got.boundaries, expect);
+        assert!(
+            got.probes_per_track < 12.0,
+            "probe cost too high: {} per track",
+            got.probes_per_track
+        );
+    }
+
+    #[test]
+    fn slipped_defects_still_extract_exactly() {
+        let cfg = models::with_factory_defects(
+            models::small_test_disk(),
+            SpareScheme::SectorsPerCylinder(8),
+            DefectPolicy::Slip,
+            600,
+            17,
+        );
+        let disk = Disk::new(cfg);
+        let expect = ground_truth(&disk);
+        let mut s = ScsiDisk::new(disk);
+        let got = extract_general(&mut s, &test_config());
+        assert_eq!(got.boundaries, expect);
+    }
+
+    #[test]
+    fn per_track_spares_extract_exactly() {
+        let cfg = models::with_factory_defects(
+            models::small_test_disk(),
+            SpareScheme::SectorsPerTrack(2),
+            DefectPolicy::Slip,
+            400,
+            23,
+        );
+        let disk = Disk::new(cfg);
+        let expect = ground_truth(&disk);
+        let mut s = ScsiDisk::new(disk);
+        let got = extract_general(&mut s, &test_config());
+        assert_eq!(got.boundaries, expect);
+    }
+
+    #[test]
+    fn extraction_time_is_reported() {
+        let disk = Disk::new(models::small_test_disk());
+        let mut s = ScsiDisk::new(disk);
+        let got = extract_general(&mut s, &test_config());
+        assert!(got.elapsed > SimTime::ZERO);
+        assert!(got.probe_reads > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one context")]
+    fn zero_contexts_panics() {
+        let disk = Disk::new(models::small_test_disk());
+        let mut s = ScsiDisk::new(disk);
+        let cfg = GeneralConfig { contexts: 0, ..GeneralConfig::default() };
+        let _ = extract_general(&mut s, &cfg);
+    }
+}

@@ -1,0 +1,23 @@
+//! Automatic track-boundary extraction (§4.1 of the paper).
+//!
+//! Two algorithms discover the LBN-to-track mapping through the standard,
+//! opaque block interface:
+//!
+//! * [`scsi_probe`] — the DIXtrac-style five-step algorithm using SCSI
+//!   `SEND/RECEIVE DIAGNOSTIC` address translations, `READ DEFECT DATA`, and
+//!   `READ CAPACITY`. Fast (≈ 2–3 translations per track thanks to
+//!   predict-and-verify) and exact.
+//! * [`general`] — the interface-agnostic algorithm that infers boundaries
+//!   purely from `READ` timing: it synchronizes probes with the rotation,
+//!   interleaves probe streams across 100 widespread locations to defeat the
+//!   firmware cache, and binary-searches for the request size at which
+//!   response time jumps by a head-switch.
+//!
+//! Both produce a [`traxtent::TrackBoundaries`] table plus a report of what
+//! the extraction cost.
+
+pub mod general;
+pub mod scsi_probe;
+
+pub use general::{extract_general, GeneralConfig, GeneralExtraction};
+pub use scsi_probe::{extract_scsi, SchemeGuess, ScsiExtraction};

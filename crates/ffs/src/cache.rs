@@ -1,0 +1,215 @@
+//! The buffer cache: a bounded LRU over file-system blocks.
+//!
+//! Blocks are identified by their *disk* block number. The cache tracks
+//! clean/dirty state; eviction hands dirty victims back to the caller (the
+//! file system), which is responsible for writing them out.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A bounded LRU block cache.
+///
+/// Recency is kept in a parallel `BTreeMap` keyed by a monotone stamp, so
+/// eviction is O(log n) rather than a scan.
+#[derive(Debug)]
+pub struct BufferCache {
+    capacity: usize,
+    /// block → (dirty, recency stamp)
+    map: HashMap<u64, (bool, u64)>,
+    /// recency stamp → block (oldest first)
+    lru: BTreeMap<u64, u64>,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl BufferCache {
+    /// Creates a cache holding up to `capacity` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        BufferCache {
+            capacity,
+            map: HashMap::new(),
+            lru: BTreeMap::new(),
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached blocks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// (hits, misses) recorded by [`contains`](Self::contains).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Whether `block` is cached; refreshes recency and records a
+    /// hit/miss.
+    pub fn contains(&mut self, block: u64) -> bool {
+        if self.map.contains_key(&block) {
+            self.touch(block);
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Whether `block` is cached, without touching recency or stats.
+    pub fn peek(&self, block: u64) -> bool {
+        self.map.contains_key(&block)
+    }
+
+    /// Inserts `block` (clean unless already dirty). Returns dirty blocks
+    /// evicted to make room, which the caller must write out.
+    pub fn insert(&mut self, block: u64) -> Vec<u64> {
+        let evicted = if self.map.contains_key(&block) { Vec::new() } else { self.make_room() };
+        self.map.entry(block).or_insert((false, 0));
+        self.touch(block);
+        evicted
+    }
+
+    /// Marks `block` dirty, inserting it if absent. Returns evicted dirty
+    /// blocks.
+    pub fn insert_dirty(&mut self, block: u64) -> Vec<u64> {
+        let evicted = if self.map.contains_key(&block) { Vec::new() } else { self.make_room() };
+        self.map.entry(block).or_insert((false, 0)).0 = true;
+        self.touch(block);
+        evicted
+    }
+
+    /// Whether `block` is cached and dirty.
+    pub fn is_dirty(&self, block: u64) -> bool {
+        self.map.get(&block).map(|e| e.0).unwrap_or(false)
+    }
+
+    /// Marks `block` clean (after write-back); no-op if absent.
+    pub fn mark_clean(&mut self, block: u64) {
+        if let Some(e) = self.map.get_mut(&block) {
+            e.0 = false;
+        }
+    }
+
+    /// Drops `block` regardless of state (file deletion).
+    pub fn discard(&mut self, block: u64) {
+        if let Some((_, stamp)) = self.map.remove(&block) {
+            self.lru.remove(&stamp);
+        }
+    }
+
+    /// All dirty blocks, sorted (for sync).
+    pub fn dirty_blocks(&self) -> Vec<u64> {
+        let mut v: Vec<u64> =
+            self.map.iter().filter(|(_, e)| e.0).map(|(&b, _)| b).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Empties the cache (remount). Dirty data is dropped — callers must
+    /// sync first.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.lru.clear();
+    }
+
+    /// Moves `block` to most-recently-used.
+    fn touch(&mut self, block: u64) {
+        self.stamp += 1;
+        let e = self.map.get_mut(&block).expect("touch of cached block");
+        if e.1 != 0 {
+            self.lru.remove(&e.1);
+        }
+        e.1 = self.stamp;
+        self.lru.insert(self.stamp, block);
+    }
+
+    /// Evicts LRU entries until one slot is free; returns dirty victims.
+    fn make_room(&mut self) -> Vec<u64> {
+        let mut dirty = Vec::new();
+        while self.map.len() >= self.capacity {
+            let (&stamp, &victim) = self.lru.iter().next().expect("lru tracks every entry");
+            self.lru.remove(&stamp);
+            if self.map.remove(&victim).expect("victim cached").0 {
+                dirty.push(victim);
+            }
+        }
+        dirty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut c = BufferCache::new(4);
+        assert!(!c.contains(1));
+        c.insert(1);
+        assert!(c.contains(1));
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_returns_dirty_victims() {
+        let mut c = BufferCache::new(2);
+        c.insert_dirty(1);
+        c.insert(2);
+        let evicted = c.insert(3); // evicts 1 (oldest), which is dirty
+        assert_eq!(evicted, vec![1]);
+        assert!(!c.peek(1));
+        assert!(c.peek(2) && c.peek(3));
+    }
+
+    #[test]
+    fn recency_updates_on_contains() {
+        let mut c = BufferCache::new(2);
+        c.insert(1);
+        c.insert(2);
+        assert!(c.contains(1)); // refresh 1
+        let evicted = c.insert(3); // evicts 2
+        assert!(evicted.is_empty());
+        assert!(c.peek(1) && !c.peek(2));
+    }
+
+    #[test]
+    fn dirty_lifecycle() {
+        let mut c = BufferCache::new(4);
+        c.insert_dirty(7);
+        assert!(c.is_dirty(7));
+        assert_eq!(c.dirty_blocks(), vec![7]);
+        c.mark_clean(7);
+        assert!(!c.is_dirty(7));
+        assert!(c.dirty_blocks().is_empty());
+        c.discard(7);
+        assert!(!c.peek(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = BufferCache::new(0);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = BufferCache::new(4);
+        c.insert(1);
+        c.insert_dirty(2);
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,272 @@
+//! An emulated SCSI command layer over the simulated drive.
+//!
+//! The track-extraction algorithms must see the disk exactly the way DIXtrac
+//! saw real drives: through the standard, opaque command set — never through
+//! the simulator's internal geometry structures. This crate provides that
+//! boundary:
+//!
+//! * `READ CAPACITY` → [`ScsiDisk::read_capacity`]
+//! * `READ(10)` / `WRITE(10)` → [`ScsiDisk::read_at`] / [`ScsiDisk::write_at`]
+//! * `SEND/RECEIVE DIAGNOSTIC` address translation →
+//!   [`ScsiDisk::translate_lbn`] and [`ScsiDisk::translate_pba`]
+//! * `READ DEFECT DATA` → [`ScsiDisk::read_defect_list`]
+//! * `MODE SENSE` (rigid disk geometry & rotation rate pages) →
+//!   [`ScsiDisk::mode_sense`]
+//!
+//! Every command advances a host-side clock and bumps per-command counters,
+//! so extraction cost can be reported the way the paper reports it (§4.1.2:
+//! "fewer than 30,000 LBN translations", "approximately 2.0–2.3 translations
+//! per track").
+
+use sim_disk::defects::DefectLocation;
+use sim_disk::disk::{Disk, Request};
+use sim_disk::geometry::Pba;
+use sim_disk::{Completion, SimDur, SimTime};
+
+/// Per-command-type counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommandCounts {
+    /// Media reads issued.
+    pub reads: u64,
+    /// Media writes issued.
+    pub writes: u64,
+    /// LBN↔physical address translations.
+    pub translations: u64,
+    /// READ CAPACITY / MODE SENSE / READ DEFECT DATA queries.
+    pub queries: u64,
+}
+
+/// MODE SENSE data the drive reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModeSense {
+    /// Medium rotation rate, RPM (rigid disk geometry page).
+    pub rpm: u32,
+    /// Number of cylinders.
+    pub cylinders: u32,
+    /// Number of heads.
+    pub heads: u32,
+}
+
+/// A simulated drive behind the SCSI command set.
+///
+/// Owns the drive and a host clock. Commands execute back to back on that
+/// clock; [`ScsiDisk::elapsed`] reports how much (simulated) wall time an
+/// extraction has consumed.
+#[derive(Debug)]
+pub struct ScsiDisk {
+    disk: Disk,
+    now: SimTime,
+    counts: CommandCounts,
+    /// Cost charged per non-media command (diagnostic, mode sense, …).
+    diag_cost: SimDur,
+}
+
+impl ScsiDisk {
+    /// Wraps a drive. Non-media commands are charged 0.5 ms each, the order
+    /// of magnitude DIXtrac observed for diagnostic round trips.
+    pub fn new(disk: Disk) -> Self {
+        ScsiDisk {
+            disk,
+            now: SimTime::ZERO,
+            counts: CommandCounts::default(),
+            diag_cost: SimDur::from_micros_f64(500.0),
+        }
+    }
+
+    /// The host clock.
+    pub fn elapsed(&self) -> SimTime {
+        self.now
+    }
+
+    /// Command counters so far.
+    pub fn counts(&self) -> CommandCounts {
+        self.counts
+    }
+
+    /// Resets the counters (not the clock).
+    pub fn reset_counts(&mut self) {
+        self.counts = CommandCounts::default();
+    }
+
+    /// Consumes the wrapper, returning the drive.
+    pub fn into_inner(self) -> Disk {
+        self.disk
+    }
+
+    /// Read-only access to the underlying drive. Extraction code must not
+    /// use this to peek at geometry; it exists for *verification* in tests
+    /// and reports.
+    pub fn ground_truth(&self) -> &Disk {
+        &self.disk
+    }
+
+    /// `READ CAPACITY`: total number of LBNs.
+    pub fn read_capacity(&mut self) -> u64 {
+        self.counts.queries += 1;
+        self.now += self.diag_cost;
+        self.disk.geometry().capacity_lbns()
+    }
+
+    /// `MODE SENSE`: rotation rate and nominal physical geometry. (Real
+    /// drives report these pages; like real drives, the *track layout* is
+    /// not included.)
+    pub fn mode_sense(&mut self) -> ModeSense {
+        self.counts.queries += 1;
+        self.now += self.diag_cost;
+        ModeSense {
+            rpm: (60.0e9 / self.disk.spindle().revolution().as_ns() as f64).round() as u32,
+            cylinders: self.disk.geometry().cylinders(),
+            heads: self.disk.geometry().surfaces(),
+        }
+    }
+
+    /// `READ(10)` at the current host clock: issues the read immediately and
+    /// advances the clock to its completion. Returns the completion record
+    /// (the host can only observe its timing, not the breakdown — extraction
+    /// code must use [`Completion::response_time`] only).
+    pub fn read_at(&mut self, lbn: u64, len: u64) -> Completion {
+        self.counts.reads += 1;
+        let c = self.disk.service(Request::read(lbn, len), self.now);
+        self.now = c.completion;
+        c
+    }
+
+    /// `READ(10)` issued at a chosen future instant (for rotation-
+    /// synchronized probing). The clock advances to the completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn read_at_time(&mut self, lbn: u64, len: u64, at: SimTime) -> Completion {
+        assert!(at >= self.now, "cannot issue in the past");
+        self.counts.reads += 1;
+        let c = self.disk.service(Request::read(lbn, len), at);
+        self.now = c.completion;
+        c
+    }
+
+    /// `WRITE(10)` at the current host clock.
+    pub fn write_at(&mut self, lbn: u64, len: u64) -> Completion {
+        self.counts.writes += 1;
+        let c = self.disk.service(Request::write(lbn, len), self.now);
+        self.now = c.completion;
+        c
+    }
+
+    /// `SEND/RECEIVE DIAGNOSTIC` address translation: LBN → physical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lbn` is beyond capacity (real drives return CHECK
+    /// CONDITION; extraction code never asks out of range).
+    pub fn translate_lbn(&mut self, lbn: u64) -> Pba {
+        self.counts.translations += 1;
+        self.now += self.diag_cost;
+        self.disk.geometry().lbn_to_pba(lbn).expect("translation in range")
+    }
+
+    /// `SEND/RECEIVE DIAGNOSTIC` address translation: physical → LBN.
+    /// Returns `None` for slots holding no LBN (spares, defects, reserved).
+    pub fn translate_pba(&mut self, pba: Pba) -> Option<u64> {
+        self.counts.translations += 1;
+        self.now += self.diag_cost;
+        self.disk.geometry().pba_to_lbn(pba)
+    }
+
+    /// `READ DEFECT DATA`: the factory (P-list) defect list.
+    pub fn read_defect_list(&mut self) -> Vec<DefectLocation> {
+        self.counts.queries += 1;
+        self.now += self.diag_cost;
+        self.disk.geometry().defect_list()
+    }
+
+    /// The spindle revolution period, measurable by the host from MODE
+    /// SENSE's rotation rate.
+    pub fn revolution(&mut self) -> SimDur {
+        let rpm = self.mode_sense().rpm;
+        SimDur::from_secs_f64(60.0 / f64::from(rpm))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_disk::models;
+
+    fn scsi() -> ScsiDisk {
+        ScsiDisk::new(Disk::new(models::small_test_disk()))
+    }
+
+    #[test]
+    fn capacity_and_mode_sense_match_geometry() {
+        let mut s = scsi();
+        let cap = s.read_capacity();
+        assert_eq!(cap, s.ground_truth().geometry().capacity_lbns());
+        let ms = s.mode_sense();
+        assert_eq!(ms.rpm, 10_000);
+        assert_eq!(ms.heads, 4);
+        assert_eq!(ms.cylinders, 120);
+        assert_eq!(s.counts().queries, 2);
+    }
+
+    #[test]
+    fn reads_advance_the_clock() {
+        let mut s = scsi();
+        let t0 = s.elapsed();
+        let c = s.read_at(0, 64);
+        assert!(s.elapsed() > t0);
+        assert_eq!(s.elapsed(), c.completion);
+        assert_eq!(s.counts().reads, 1);
+    }
+
+    #[test]
+    fn translations_round_trip_and_cost_time() {
+        let mut s = scsi();
+        let before = s.elapsed();
+        let pba = s.translate_lbn(1234);
+        let back = s.translate_pba(pba);
+        assert_eq!(back, Some(1234));
+        assert_eq!(s.counts().translations, 2);
+        assert!(s.elapsed() > before);
+    }
+
+    #[test]
+    fn defect_list_matches_spec() {
+        use sim_disk::defects::{DefectPolicy, SpareScheme};
+        let cfg = models::with_factory_defects(
+            models::small_test_disk(),
+            SpareScheme::SectorsPerCylinder(8),
+            DefectPolicy::Slip,
+            800,
+            11,
+        );
+        let expect = cfg.geometry.defect_list();
+        let mut s = ScsiDisk::new(Disk::new(cfg));
+        assert_eq!(s.read_defect_list(), expect);
+        assert!(!s.read_defect_list().is_empty());
+    }
+
+    #[test]
+    fn timed_read_waits_for_the_chosen_instant() {
+        let mut s = scsi();
+        let _ = s.read_at(0, 1);
+        let at = s.elapsed() + SimDur::from_millis_f64(5.0);
+        let c = s.read_at_time(1000, 1, at);
+        assert!(c.issue == at);
+        assert!(s.elapsed() >= at);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn past_issue_panics() {
+        let mut s = scsi();
+        let _ = s.read_at(0, 1);
+        let _ = s.read_at_time(0, 1, SimTime::ZERO);
+    }
+
+    #[test]
+    fn revolution_from_mode_sense() {
+        let mut s = scsi();
+        assert_eq!(s.revolution().as_ns(), 6_000_000);
+    }
+}

@@ -1,0 +1,238 @@
+//! Segmented firmware read cache with track read-ahead.
+//!
+//! Drive firmware keeps a small number of cache segments, each holding a
+//! recently read LBN run extended by read-ahead to the end of the track.
+//! Reads fully contained in a segment are serviced at bus speed with no
+//! mechanical work. This is precisely the behaviour the general
+//! track-extraction algorithm must defeat by interleaving requests to more
+//! widespread locations than the cache has segments (§4.1.1 of the paper).
+//!
+//! Writes invalidate overlapping cached data and do not populate the cache
+//! (write-through, no write-back caching).
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Cache configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Number of cache segments (0 disables the cache).
+    pub segments: usize,
+    /// Whether a media read populates its segment out to the end of the last
+    /// track touched (firmware read-ahead).
+    pub readahead_to_track_end: bool,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig { segments: 10, readahead_to_track_end: true }
+    }
+}
+
+impl CacheConfig {
+    /// A disabled cache.
+    pub fn disabled() -> Self {
+        CacheConfig { segments: 0, readahead_to_track_end: false }
+    }
+}
+
+/// One cached LBN run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Segment {
+    start: u64,
+    end: u64, // exclusive
+}
+
+/// The segmented cache. LRU across segments; a hit refreshes recency.
+#[derive(Debug, Clone)]
+pub struct SegmentCache {
+    config: CacheConfig,
+    /// Most recently used at the back.
+    segments: VecDeque<Segment>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SegmentCache {
+    /// Creates an empty cache.
+    pub fn new(config: CacheConfig) -> Self {
+        SegmentCache { config, segments: VecDeque::new(), hits: 0, misses: 0 }
+    }
+
+    /// Returns true — and refreshes recency — if `[start, start+len)` is
+    /// fully contained in one segment.
+    pub fn lookup(&mut self, start: u64, len: u64) -> bool {
+        if self.config.segments == 0 {
+            return false;
+        }
+        let end = start + len;
+        if let Some(idx) =
+            self.segments.iter().position(|s| s.start <= start && end <= s.end)
+        {
+            let seg = self.segments.remove(idx).expect("index valid");
+            self.segments.push_back(seg);
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Records that `[start, end)` was read from media (already extended by
+    /// read-ahead by the caller if configured). Evicts the least recently
+    /// used segment if full. Overlapping older segments are absorbed.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        if self.config.segments == 0 || start >= end {
+            return;
+        }
+        // Absorb overlapping or adjacent segments into the new one.
+        let mut new = Segment { start, end };
+        self.segments.retain(|s| {
+            let overlaps = s.start <= new.end && new.start <= s.end;
+            if overlaps {
+                new.start = new.start.min(s.start);
+                new.end = new.end.max(s.end);
+            }
+            !overlaps
+        });
+        while self.segments.len() >= self.config.segments {
+            self.segments.pop_front();
+        }
+        self.segments.push_back(new);
+    }
+
+    /// Invalidates any cached data overlapping `[start, start+len)` (called
+    /// on writes). Segments are trimmed, not dropped wholesale, except when
+    /// the write splits one (then the smaller half is dropped for
+    /// simplicity, as real firmware typically does).
+    pub fn invalidate(&mut self, start: u64, len: u64) {
+        let end = start + len;
+        for s in &mut self.segments {
+            if s.start < end && start < s.end {
+                if start <= s.start && end >= s.end {
+                    s.end = s.start; // fully covered: empty it
+                } else if start <= s.start {
+                    s.start = end;
+                } else if end >= s.end {
+                    s.end = start;
+                } else {
+                    // Write splits the segment: keep the larger half.
+                    if start - s.start >= s.end - end {
+                        s.end = start;
+                    } else {
+                        s.start = end;
+                    }
+                }
+            }
+        }
+        self.segments.retain(|s| s.start < s.end);
+    }
+
+    /// Drops all cached data.
+    pub fn clear(&mut self) {
+        self.segments.clear();
+    }
+
+    /// (hits, misses) since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of live segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True if no segments are cached.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(n: usize) -> SegmentCache {
+        SegmentCache::new(CacheConfig { segments: n, readahead_to_track_end: true })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = cache(2);
+        assert!(!c.lookup(100, 10));
+        c.insert(100, 200);
+        assert!(c.lookup(100, 10));
+        assert!(c.lookup(150, 50));
+        assert!(!c.lookup(150, 51)); // extends past segment end
+        assert_eq!(c.stats(), (2, 2));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = cache(2);
+        c.insert(0, 10);
+        c.insert(100, 110);
+        c.insert(200, 210); // evicts [0,10)
+        assert!(!c.lookup(0, 5));
+        assert!(c.lookup(100, 5));
+        assert!(c.lookup(200, 5));
+    }
+
+    #[test]
+    fn hit_refreshes_recency() {
+        let mut c = cache(2);
+        c.insert(0, 10);
+        c.insert(100, 110);
+        assert!(c.lookup(0, 5)); // refresh [0,10)
+        c.insert(200, 210); // evicts [100,110), not [0,10)
+        assert!(c.lookup(0, 5));
+        assert!(!c.lookup(100, 5));
+    }
+
+    #[test]
+    fn overlapping_inserts_merge() {
+        let mut c = cache(4);
+        c.insert(0, 100);
+        c.insert(50, 150);
+        assert_eq!(c.len(), 1);
+        assert!(c.lookup(0, 150));
+    }
+
+    #[test]
+    fn writes_invalidate() {
+        let mut c = cache(4);
+        c.insert(0, 100);
+        c.invalidate(20, 10);
+        assert!(!c.lookup(0, 100));
+        assert!(!c.lookup(25, 1));
+        // The larger half [30,100) survives a split.
+        assert!(c.lookup(40, 50));
+    }
+
+    #[test]
+    fn full_cover_invalidation_drops_segment() {
+        let mut c = cache(4);
+        c.insert(10, 20);
+        c.invalidate(0, 100);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let mut c = SegmentCache::new(CacheConfig::disabled());
+        c.insert(0, 1000);
+        assert!(!c.lookup(0, 1));
+        assert_eq!(c.stats(), (0, 0));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = cache(2);
+        c.insert(0, 10);
+        c.clear();
+        assert!(c.is_empty());
+        assert!(!c.lookup(0, 1));
+    }
+}

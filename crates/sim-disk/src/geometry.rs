@@ -1,0 +1,961 @@
+//! Zoned disk geometry and the LBN-to-physical mapping.
+//!
+//! The builder ([`GeometrySpec::build`]) turns a declarative description —
+//! surfaces, zones, skews, a spare scheme, and a defect list — into a
+//! [`DiskGeometry`] with a precomputed per-track map supporting O(log n)
+//! LBN→physical and physical→LBN translation, including defect slipping and
+//! remapping exactly as described in §2.2 and §3.1 of the paper.
+//!
+//! Tracks are numbered in LBN order: cylinder 0 surface 0, cylinder 0
+//! surface 1, …, cylinder 1 surface 0, … (Figure 2(b) of the paper).
+
+use crate::defects::{DefectLocation, DefectPolicy, SlipDomain, SpareScheme};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Identifier of a track, in LBN order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TrackId(pub u32);
+
+/// A physical block address: cylinder, head, and physical sector slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pba {
+    /// Cylinder number, 0 at the outer edge.
+    pub cyl: u32,
+    /// Surface (head) number.
+    pub head: u32,
+    /// Physical sector slot within the track.
+    pub slot: u32,
+}
+
+impl Pba {
+    /// Creates a physical block address.
+    pub fn new(cyl: u32, head: u32, slot: u32) -> Self {
+        Pba { cyl, head, slot }
+    }
+}
+
+impl fmt::Display for Pba {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}/h{}/s{}", self.cyl, self.head, self.slot)
+    }
+}
+
+/// One recording zone: a contiguous run of cylinders sharing a
+/// sectors-per-track count and skew settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZoneSpec {
+    /// Number of cylinders in the zone.
+    pub cylinders: u32,
+    /// Physical sector slots per track in this zone.
+    pub spt: u32,
+    /// Track (head-switch) skew, in sector slots of this zone.
+    pub track_skew: u32,
+    /// Cylinder-switch skew, in sector slots of this zone.
+    pub cyl_skew: u32,
+}
+
+impl ZoneSpec {
+    /// Creates a zone with the given cylinder count and sectors per track and
+    /// zero skew (useful in tests).
+    pub fn unskewed(cylinders: u32, spt: u32) -> Self {
+        ZoneSpec { cylinders, spt, track_skew: 0, cyl_skew: 0 }
+    }
+}
+
+/// Declarative description of a disk's layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeometrySpec {
+    /// Number of media surfaces (read/write heads).
+    pub surfaces: u32,
+    /// Recording zones, outermost first.
+    pub zones: Vec<ZoneSpec>,
+    /// Spare-space reservation scheme.
+    pub spare: SpareScheme,
+    /// How factory defects are folded into the mapping.
+    pub policy: DefectPolicy,
+    /// Factory (P-list) defects.
+    pub defects: Vec<DefectLocation>,
+}
+
+impl GeometrySpec {
+    /// A defect-free spec with the given shape — the common starting point.
+    pub fn pristine(surfaces: u32, zones: Vec<ZoneSpec>) -> Self {
+        GeometrySpec {
+            surfaces,
+            zones,
+            spare: SpareScheme::None,
+            policy: DefectPolicy::Slip,
+            defects: Vec::new(),
+        }
+    }
+
+    /// Total number of cylinders across all zones.
+    pub fn cylinders(&self) -> u32 {
+        self.zones.iter().map(|z| z.cylinders).sum()
+    }
+
+    /// Builds the full per-track mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] if the spec is degenerate (no surfaces, no
+    /// zones, zero-sector tracks), a defect lies outside the disk, or the
+    /// spare scheme cannot absorb the defect list.
+    pub fn build(self) -> Result<DiskGeometry, GeometryError> {
+        build_geometry(self)
+    }
+}
+
+/// Information about one recording zone of a built disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZoneInfo {
+    /// First cylinder of the zone.
+    pub first_cyl: u32,
+    /// Number of cylinders.
+    pub cylinders: u32,
+    /// Sector slots per track.
+    pub spt: u32,
+    /// First LBN mapped in the zone.
+    pub first_lbn: u64,
+    /// Number of LBNs mapped in the zone.
+    pub lbn_count: u64,
+}
+
+/// One track of the built mapping.
+#[derive(Debug, Clone)]
+pub struct Track {
+    first_lbn: u64,
+    count: u32,
+    cyl: u32,
+    head: u32,
+    zone: u32,
+    spt: u32,
+    /// Angle of physical slot 0, in revolutions, at spindle phase 0.
+    angle0: f64,
+    /// Sorted factory-defective slots on this track.
+    defect_slots: Vec<u32>,
+    /// Grown-defective slots (remapped after formatting); sorted.
+    grown_slots: Vec<u32>,
+    /// Spare slots on this track holding remapped LBNs: (slot, lbn), sorted
+    /// by slot.
+    remap_targets: Vec<(u32, u64)>,
+}
+
+impl Track {
+    /// First LBN mapped on this track.
+    pub fn first_lbn(&self) -> u64 {
+        self.first_lbn
+    }
+
+    /// Number of LBNs mapped on this track.
+    pub fn lbn_count(&self) -> u32 {
+        self.count
+    }
+
+    /// One past the last LBN mapped on this track.
+    pub fn end_lbn(&self) -> u64 {
+        self.first_lbn + u64::from(self.count)
+    }
+
+    /// Cylinder this track lies on.
+    pub fn cyl(&self) -> u32 {
+        self.cyl
+    }
+
+    /// Surface this track lies on.
+    pub fn head(&self) -> u32 {
+        self.head
+    }
+
+    /// Zone index this track belongs to.
+    pub fn zone(&self) -> u32 {
+        self.zone
+    }
+
+    /// Physical sector slots on this track.
+    pub fn spt(&self) -> u32 {
+        self.spt
+    }
+
+    /// Angle (in revolutions, `[0,1)`) of the leading edge of `slot` when the
+    /// spindle is at phase 0.
+    pub fn slot_angle(&self, slot: u32) -> f64 {
+        debug_assert!(slot < self.spt);
+        (self.angle0 + f64::from(slot) / f64::from(self.spt)).fract()
+    }
+
+    /// Sorted factory-defective slots.
+    pub fn defect_slots(&self) -> &[u32] {
+        &self.defect_slots
+    }
+
+    /// True if the given physical slot is defective (factory or grown).
+    pub fn is_defective_slot(&self, slot: u32) -> bool {
+        self.defect_slots.binary_search(&slot).is_ok()
+            || self.grown_slots.binary_search(&slot).is_ok()
+    }
+}
+
+/// Error building or mutating a [`DiskGeometry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeometryError {
+    /// The spec has zero surfaces.
+    NoSurfaces,
+    /// The spec has no zones (or a zone with no cylinders).
+    NoZones,
+    /// A zone declares zero sectors per track.
+    EmptyTrack,
+    /// A defect location lies outside the disk.
+    DefectOutOfRange(DefectLocation),
+    /// The spare scheme cannot absorb the defects in some slip domain.
+    InsufficientSpare {
+        /// First track of the domain that overflowed.
+        domain_first_track: u32,
+    },
+    /// An LBN passed to a mutation is beyond the disk capacity.
+    LbnOutOfRange(u64),
+    /// No free spare slot was found for a grown defect.
+    NoSpareForGrownDefect(u64),
+    /// The spare scheme reserves every sector; the disk would expose no
+    /// LBNs at all.
+    ZeroCapacity,
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::NoSurfaces => write!(f, "disk must have at least one surface"),
+            GeometryError::NoZones => write!(f, "disk must have at least one non-empty zone"),
+            GeometryError::EmptyTrack => write!(f, "zone declares zero sectors per track"),
+            GeometryError::DefectOutOfRange(d) => {
+                write!(f, "defect at c{}/h{}/s{} lies outside the disk", d.cyl, d.head, d.slot)
+            }
+            GeometryError::InsufficientSpare { domain_first_track } => write!(
+                f,
+                "spare scheme cannot absorb defects in the domain starting at track {domain_first_track}"
+            ),
+            GeometryError::LbnOutOfRange(lbn) => write!(f, "lbn {lbn} is beyond disk capacity"),
+            GeometryError::NoSpareForGrownDefect(lbn) => {
+                write!(f, "no free spare slot available to remap grown defect at lbn {lbn}")
+            }
+            GeometryError::ZeroCapacity => {
+                write!(f, "spare scheme reserves the entire disk; no LBNs remain")
+            }
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+/// A fully built disk layout with O(log n) translation in both directions.
+#[derive(Debug, Clone)]
+pub struct DiskGeometry {
+    spec: GeometrySpec,
+    tracks: Vec<Track>,
+    zones: Vec<ZoneInfo>,
+    /// First cylinder of each zone, for zone-of-cylinder lookup.
+    zone_first_cyl: Vec<u32>,
+    capacity: u64,
+    /// Remapped LBNs (factory remap policy and grown defects): lbn → spare
+    /// location.
+    remaps: BTreeMap<u64, Pba>,
+}
+
+impl DiskGeometry {
+    /// The spec this geometry was built from.
+    pub fn spec(&self) -> &GeometrySpec {
+        &self.spec
+    }
+
+    /// Number of media surfaces.
+    pub fn surfaces(&self) -> u32 {
+        self.spec.surfaces
+    }
+
+    /// Number of cylinders.
+    pub fn cylinders(&self) -> u32 {
+        self.spec.cylinders()
+    }
+
+    /// Total number of LBNs the disk exposes.
+    pub fn capacity_lbns(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of tracks (surfaces × cylinders).
+    pub fn num_tracks(&self) -> u32 {
+        self.tracks.len() as u32
+    }
+
+    /// The zones of the disk, outermost first.
+    pub fn zones(&self) -> &[ZoneInfo] {
+        &self.zones
+    }
+
+    /// The zone a cylinder belongs to.
+    pub fn zone_of_cyl(&self, cyl: u32) -> &ZoneInfo {
+        let idx = self.zone_first_cyl.partition_point(|&c| c <= cyl) - 1;
+        &self.zones[idx]
+    }
+
+    /// Access a track by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn track(&self, id: u32) -> &Track {
+        &self.tracks[id as usize]
+    }
+
+    /// Iterates over all tracks in LBN order.
+    pub fn iter_tracks(&self) -> impl Iterator<Item = (TrackId, &Track)> {
+        self.tracks.iter().enumerate().map(|(i, t)| (TrackId(i as u32), t))
+    }
+
+    /// The track holding `lbn`.
+    ///
+    /// Because a track can hold zero LBNs (spare tracks), the returned track
+    /// is the unique one whose `[first_lbn, end_lbn)` range contains `lbn`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::LbnOutOfRange`] if `lbn` is beyond capacity.
+    pub fn track_of_lbn(&self, lbn: u64) -> Result<TrackId, GeometryError> {
+        if lbn >= self.capacity {
+            return Err(GeometryError::LbnOutOfRange(lbn));
+        }
+        // partition_point over end_lbn: first track whose end is > lbn.
+        let idx = self.tracks.partition_point(|t| t.end_lbn() <= lbn);
+        debug_assert!(idx < self.tracks.len());
+        debug_assert!(self.tracks[idx].first_lbn <= lbn);
+        Ok(TrackId(idx as u32))
+    }
+
+    /// The `[first_lbn, end_lbn)` range of the track holding `lbn` — the
+    /// "track boundaries" the whole paper is about.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::LbnOutOfRange`] if `lbn` is beyond capacity.
+    pub fn track_bounds(&self, lbn: u64) -> Result<(u64, u64), GeometryError> {
+        let t = &self.tracks[self.track_of_lbn(lbn)?.0 as usize];
+        Ok((t.first_lbn, t.end_lbn()))
+    }
+
+    /// Translates an LBN to its physical location, following remaps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::LbnOutOfRange`] if `lbn` is beyond capacity.
+    pub fn lbn_to_pba(&self, lbn: u64) -> Result<Pba, GeometryError> {
+        if let Some(&pba) = self.remaps.get(&lbn) {
+            return Ok(pba);
+        }
+        let tid = self.track_of_lbn(lbn)?;
+        let t = &self.tracks[tid.0 as usize];
+        let logical = (lbn - t.first_lbn) as u32;
+        Ok(Pba::new(t.cyl, t.head, self.slot_of_logical(t, logical)))
+    }
+
+    /// The physical slot holding the `logical`-th LBN of a track.
+    fn slot_of_logical(&self, t: &Track, logical: u32) -> u32 {
+        match self.spec.policy {
+            DefectPolicy::Slip => {
+                // LBNs occupy the first `count` non-defective slots.
+                let mut slot = logical;
+                for &d in &t.defect_slots {
+                    if d <= slot {
+                        slot += 1;
+                    } else {
+                        break;
+                    }
+                }
+                slot
+            }
+            // Under remapping the nominal mapping ignores defects (the
+            // affected LBNs were redirected via `remaps`).
+            DefectPolicy::Remap => logical,
+        }
+    }
+
+    /// Translates a physical location back to the LBN stored there, if any.
+    ///
+    /// Returns `None` for defective slots, spare slots not holding remapped
+    /// data, and reserved tracks. Out-of-range locations also yield `None`.
+    pub fn pba_to_lbn(&self, pba: Pba) -> Option<u64> {
+        if pba.head >= self.spec.surfaces || pba.cyl >= self.cylinders() {
+            return None;
+        }
+        let tid = pba.cyl * self.spec.surfaces + pba.head;
+        let t = &self.tracks[tid as usize];
+        if pba.slot >= t.spt {
+            return None;
+        }
+        if let Ok(i) = t.remap_targets.binary_search_by_key(&pba.slot, |&(s, _)| s) {
+            return Some(t.remap_targets[i].1);
+        }
+        if t.is_defective_slot(pba.slot) {
+            return None;
+        }
+        let logical = match self.spec.policy {
+            DefectPolicy::Slip => {
+                let before = t.defect_slots.partition_point(|&d| d < pba.slot) as u32;
+                pba.slot - before
+            }
+            DefectPolicy::Remap => pba.slot,
+        };
+        if logical < t.count {
+            Some(t.first_lbn + u64::from(logical))
+        } else {
+            None
+        }
+    }
+
+    /// The track id for a (cylinder, head) pair.
+    pub fn track_at(&self, cyl: u32, head: u32) -> Option<TrackId> {
+        if cyl < self.cylinders() && head < self.spec.surfaces {
+            Some(TrackId(cyl * self.spec.surfaces + head))
+        } else {
+            None
+        }
+    }
+
+    /// Physical slots, in slot order, of the LBN range `[start, start+len)`
+    /// restricted to a single track. Used by the drive model's media
+    /// scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the range is not fully on the given track or any LBN
+    /// in it is remapped; the drive model handles remapped LBNs separately.
+    pub(crate) fn slots_for_range(&self, tid: TrackId, start: u64, len: u32) -> Vec<u32> {
+        let t = &self.tracks[tid.0 as usize];
+        debug_assert!(start >= t.first_lbn && start + u64::from(len) <= t.end_lbn());
+        let first_logical = (start - t.first_lbn) as u32;
+        (first_logical..first_logical + len).map(|l| self.slot_of_logical(t, l)).collect()
+    }
+
+    /// Whether an LBN has been remapped (factory or grown).
+    pub fn is_remapped(&self, lbn: u64) -> bool {
+        self.remaps.contains_key(&lbn)
+    }
+
+    /// All remapped LBNs and their spare locations.
+    pub fn remapped_lbns(&self) -> impl Iterator<Item = (u64, Pba)> + '_ {
+        self.remaps.iter().map(|(&l, &p)| (l, p))
+    }
+
+    /// The factory defect list, as a sorted vector (the simulator's
+    /// READ DEFECT LIST ground truth).
+    pub fn defect_list(&self) -> Vec<DefectLocation> {
+        let mut v = self.spec.defects.clone();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Marks the sector currently holding `lbn` as a grown defect and remaps
+    /// the LBN to a free spare slot, leaving all other mappings untouched
+    /// (this is how drives handle defects that appear in the field, §3.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `lbn` is out of range or no spare slot is free.
+    pub fn add_grown_defect(&mut self, lbn: u64) -> Result<Pba, GeometryError> {
+        let old = self.lbn_to_pba(lbn)?;
+        let spare = self.find_free_spare_slot().ok_or(GeometryError::NoSpareForGrownDefect(lbn))?;
+        // Mark the old physical slot defective.
+        let tid = (old.cyl * self.spec.surfaces + old.head) as usize;
+        let t = &mut self.tracks[tid];
+        if let Err(pos) = t.grown_slots.binary_search(&old.slot) {
+            t.grown_slots.insert(pos, old.slot);
+        }
+        // Record the redirect on the spare's track for pba_to_lbn.
+        let stid = (spare.cyl * self.spec.surfaces + spare.head) as usize;
+        let st = &mut self.tracks[stid];
+        let pos = st.remap_targets.partition_point(|&(s, _)| s < spare.slot);
+        st.remap_targets.insert(pos, (spare.slot, lbn));
+        self.remaps.insert(lbn, spare);
+        Ok(spare)
+    }
+
+    /// Finds a spare slot holding no LBN and no remap target, scanning from
+    /// the end of the disk (where every spare scheme leaves room).
+    fn find_free_spare_slot(&self) -> Option<Pba> {
+        for t in self.tracks.iter().rev() {
+            // Candidate slots: those beyond the mapped region.
+            let mapped = match self.spec.policy {
+                DefectPolicy::Slip => {
+                    // The mapped region ends at the slot of the last logical
+                    // sector (or 0 for empty tracks).
+                    if t.count == 0 {
+                        0
+                    } else {
+                        self.slot_of_logical(t, t.count - 1) + 1
+                    }
+                }
+                DefectPolicy::Remap => t.count,
+            };
+            for slot in (mapped..t.spt).rev() {
+                let taken = t.remap_targets.binary_search_by_key(&slot, |&(s, _)| s).is_ok();
+                if !taken && !t.is_defective_slot(slot) {
+                    return Some(Pba::new(t.cyl, t.head, slot));
+                }
+            }
+        }
+        None
+    }
+}
+
+fn build_geometry(spec: GeometrySpec) -> Result<DiskGeometry, GeometryError> {
+    if spec.surfaces == 0 {
+        return Err(GeometryError::NoSurfaces);
+    }
+    if spec.zones.is_empty() || spec.zones.iter().any(|z| z.cylinders == 0) {
+        return Err(GeometryError::NoZones);
+    }
+    if spec.zones.iter().any(|z| z.spt == 0) {
+        return Err(GeometryError::EmptyTrack);
+    }
+
+    let surfaces = spec.surfaces;
+    let total_cyls: u32 = spec.zones.iter().map(|z| z.cylinders).sum();
+    let total_tracks = total_cyls * surfaces;
+
+    // Validate defects and bin them per track.
+    let mut defects_by_track: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    {
+        let mut zone_starts = Vec::with_capacity(spec.zones.len());
+        let mut acc = 0;
+        for z in &spec.zones {
+            zone_starts.push(acc);
+            acc += z.cylinders;
+        }
+        for d in &spec.defects {
+            if d.cyl >= total_cyls || d.head >= surfaces {
+                return Err(GeometryError::DefectOutOfRange(*d));
+            }
+            let zi = zone_starts.partition_point(|&c| c <= d.cyl) - 1;
+            if d.slot >= spec.zones[zi].spt {
+                return Err(GeometryError::DefectOutOfRange(*d));
+            }
+            let tid = d.cyl * surfaces + d.head;
+            defects_by_track.entry(tid).or_default().push(d.slot);
+        }
+        for v in defects_by_track.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+    }
+
+    // Per-track static metadata pass.
+    struct Meta {
+        cyl: u32,
+        head: u32,
+        zone: u32,
+        spt: u32,
+        reserved: u32,
+        angle0: f64,
+    }
+    let mut metas: Vec<Meta> = Vec::with_capacity(total_tracks as usize);
+    {
+        let mut angle: f64 = 0.0;
+        let mut cyl = 0u32;
+        for (zi, z) in spec.zones.iter().enumerate() {
+            let zone_last_cyl = cyl + z.cylinders - 1;
+            for zc in 0..z.cylinders {
+                for head in 0..surfaces {
+                    let track_in_zone = zc * surfaces + head;
+                    let tracks_in_zone = z.cylinders * surfaces;
+                    let tracks_from_zone_end = tracks_in_zone - 1 - track_in_zone;
+                    let global_tid = cyl * surfaces + head;
+                    let tracks_from_disk_end = total_tracks - 1 - global_tid;
+                    let reserved = spec.spare.reserved_slots_on_track(
+                        head == surfaces - 1,
+                        tracks_from_zone_end,
+                        tracks_from_disk_end,
+                        z.spt,
+                    );
+                    if !(cyl == 0 && head == 0) {
+                        // Advance skew: head switch within a cylinder, or
+                        // cylinder switch when head wraps to 0.
+                        let skew_slots =
+                            if head == 0 { z.cyl_skew } else { z.track_skew };
+                        angle = (angle + f64::from(skew_slots) / f64::from(z.spt)).fract();
+                    }
+                    metas.push(Meta {
+                        cyl,
+                        head,
+                        zone: zi as u32,
+                        spt: z.spt,
+                        reserved,
+                        angle0: angle,
+                    });
+                }
+                cyl += 1;
+            }
+            let _ = zone_last_cyl;
+        }
+    }
+
+    // Group tracks into slip domains and assign LBNs.
+    let domain = spec.spare.slip_domain();
+    let domain_len = |first_track: usize| -> usize {
+        match domain {
+            SlipDomain::Track => 1,
+            SlipDomain::Cylinder => surfaces as usize,
+            SlipDomain::Zone => {
+                let zi = metas[first_track].zone as usize;
+                (spec.zones[zi].cylinders * surfaces) as usize
+            }
+            SlipDomain::Disk => total_tracks as usize,
+        }
+    };
+
+    let mut tracks: Vec<Track> = Vec::with_capacity(total_tracks as usize);
+    let mut next_lbn: u64 = 0;
+    let mut remaps: BTreeMap<u64, Pba> = BTreeMap::new();
+
+    let mut i = 0usize;
+    while i < total_tracks as usize {
+        let dlen = domain_len(i);
+        let dtracks = i..i + dlen;
+        let capacity: u64 =
+            dtracks.clone().map(|t| u64::from(metas[t].spt - metas[t].reserved.min(metas[t].spt))).sum();
+
+        match spec.policy {
+            DefectPolicy::Slip => {
+                let mut remaining = capacity;
+                for t in dtracks.clone() {
+                    let m = &metas[t];
+                    let defs = defects_by_track.get(&(t as u32)).cloned().unwrap_or_default();
+                    let avail = u64::from(m.spt) - defs.len() as u64;
+                    let take = remaining.min(avail) as u32;
+                    remaining -= u64::from(take);
+                    tracks.push(Track {
+                        first_lbn: next_lbn,
+                        count: take,
+                        cyl: m.cyl,
+                        head: m.head,
+                        zone: m.zone,
+                        spt: m.spt,
+                        angle0: m.angle0,
+                        defect_slots: defs,
+                        grown_slots: Vec::new(),
+                        remap_targets: Vec::new(),
+                    });
+                    next_lbn += u64::from(take);
+                }
+                if remaining > 0 {
+                    return Err(GeometryError::InsufficientSpare {
+                        domain_first_track: i as u32,
+                    });
+                }
+            }
+            DefectPolicy::Remap => {
+                // Nominal assignment ignores defects; collect (a) LBNs landing
+                // on defective slots and (b) spare slots, then pair them up.
+                let mut remaining = capacity;
+                let mut victims: Vec<u64> = Vec::new();
+                let mut spares: Vec<Pba> = Vec::new();
+                let domain_first = tracks.len();
+                for t in dtracks.clone() {
+                    let m = &metas[t];
+                    let defs = defects_by_track.get(&(t as u32)).cloned().unwrap_or_default();
+                    let take = remaining.min(u64::from(m.spt)) as u32;
+                    remaining -= u64::from(take);
+                    for &d in &defs {
+                        if d < take {
+                            victims.push(next_lbn + u64::from(d));
+                        }
+                    }
+                    for slot in take..m.spt {
+                        if defs.binary_search(&slot).is_err() {
+                            spares.push(Pba::new(m.cyl, m.head, slot));
+                        }
+                    }
+                    tracks.push(Track {
+                        first_lbn: next_lbn,
+                        count: take,
+                        cyl: m.cyl,
+                        head: m.head,
+                        zone: m.zone,
+                        spt: m.spt,
+                        angle0: m.angle0,
+                        defect_slots: defs,
+                        grown_slots: Vec::new(),
+                        remap_targets: Vec::new(),
+                    });
+                    next_lbn += u64::from(take);
+                }
+                if victims.len() > spares.len() {
+                    return Err(GeometryError::InsufficientSpare {
+                        domain_first_track: i as u32,
+                    });
+                }
+                for (lbn, pba) in victims.into_iter().zip(spares) {
+                    remaps.insert(lbn, pba);
+                    let tid = (pba.cyl * surfaces + pba.head) as usize;
+                    debug_assert!(tid >= domain_first && tid < tracks.len());
+                    let tt = &mut tracks[tid];
+                    let pos = tt.remap_targets.partition_point(|&(s, _)| s < pba.slot);
+                    tt.remap_targets.insert(pos, (pba.slot, lbn));
+                }
+            }
+        }
+        i += dlen;
+    }
+
+    // Zone summary.
+    let mut zones = Vec::with_capacity(spec.zones.len());
+    let mut zone_first_cyl = Vec::with_capacity(spec.zones.len());
+    {
+        let mut cyl = 0u32;
+        for (zi, z) in spec.zones.iter().enumerate() {
+            let first_track = (cyl * surfaces) as usize;
+            let last_track = ((cyl + z.cylinders) * surfaces) as usize - 1;
+            let first_lbn = tracks[first_track].first_lbn;
+            let end_lbn = tracks[last_track].end_lbn();
+            zones.push(ZoneInfo {
+                first_cyl: cyl,
+                cylinders: z.cylinders,
+                spt: z.spt,
+                first_lbn,
+                lbn_count: end_lbn - first_lbn,
+            });
+            zone_first_cyl.push(cyl);
+            cyl += z.cylinders;
+            let _ = zi;
+        }
+    }
+
+    if next_lbn == 0 {
+        return Err(GeometryError::ZeroCapacity);
+    }
+    Ok(DiskGeometry { spec, tracks, zones, zone_first_cyl, capacity: next_lbn, remaps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_spec() -> GeometrySpec {
+        // The Figure 2(b) disk: 200 sectors/track, 2 surfaces, skew 20.
+        GeometrySpec::pristine(
+            2,
+            vec![ZoneSpec { cylinders: 10, spt: 200, track_skew: 20, cyl_skew: 40 }],
+        )
+    }
+
+    #[test]
+    fn figure2_mapping_without_defects() {
+        let g = simple_spec().build().unwrap();
+        assert_eq!(g.capacity_lbns(), 10 * 2 * 200);
+        assert_eq!(g.lbn_to_pba(0).unwrap(), Pba::new(0, 0, 0));
+        assert_eq!(g.lbn_to_pba(199).unwrap(), Pba::new(0, 0, 199));
+        assert_eq!(g.lbn_to_pba(200).unwrap(), Pba::new(0, 1, 0));
+        assert_eq!(g.lbn_to_pba(400).unwrap(), Pba::new(1, 0, 0));
+        assert_eq!(g.track_bounds(250).unwrap(), (200, 400));
+    }
+
+    #[test]
+    fn figure2_slipped_defect_shifts_following_lbns() {
+        // Defect between LBNs 580 and 581 in the paper's figure: with
+        // per-track slipping on a disk with one spare slot per track.
+        let mut spec = simple_spec();
+        spec.spare = SpareScheme::SectorsPerTrack(1);
+        // Track c1/h0 holds LBNs starting at 2*199*... with 199 per track:
+        // tracks hold 199 LBNs each now.
+        spec.defects = vec![DefectLocation::new(1, 0, 100)];
+        let g = spec.build().unwrap();
+        // Tracks hold 199 LBNs each; track 2 (c1/h0) starts at 398.
+        assert_eq!(g.track_bounds(398).unwrap(), (398, 597));
+        // LBN 398+99 = 497 sits at slot 99; the next LBN slips past slot 100.
+        assert_eq!(g.lbn_to_pba(497).unwrap(), Pba::new(1, 0, 99));
+        assert_eq!(g.lbn_to_pba(498).unwrap(), Pba::new(1, 0, 101));
+        // Defective slot holds nothing.
+        assert_eq!(g.pba_to_lbn(Pba::new(1, 0, 100)), None);
+        // Round-trip everything.
+        for lbn in 0..g.capacity_lbns() {
+            let pba = g.lbn_to_pba(lbn).unwrap();
+            assert_eq!(g.pba_to_lbn(pba), Some(lbn), "lbn {lbn}");
+        }
+    }
+
+    #[test]
+    fn remap_policy_keeps_nominal_mapping() {
+        let mut spec = simple_spec();
+        spec.spare = SpareScheme::SectorsPerTrack(2);
+        spec.policy = DefectPolicy::Remap;
+        spec.defects = vec![DefectLocation::new(0, 0, 5)];
+        let g = spec.build().unwrap();
+        // Tracks hold 198 LBNs. LBN 5 would sit on the defective slot; it is
+        // remapped to a spare slot on the same track.
+        assert!(g.is_remapped(5));
+        let pba = g.lbn_to_pba(5).unwrap();
+        assert_eq!((pba.cyl, pba.head), (0, 0));
+        assert!(pba.slot >= 198, "remap target should be a spare slot, got {}", pba.slot);
+        // Neighbours unaffected.
+        assert_eq!(g.lbn_to_pba(4).unwrap(), Pba::new(0, 0, 4));
+        assert_eq!(g.lbn_to_pba(6).unwrap(), Pba::new(0, 0, 6));
+        // Reverse lookup from the spare slot finds the remapped LBN.
+        assert_eq!(g.pba_to_lbn(pba), Some(5));
+        assert_eq!(g.pba_to_lbn(Pba::new(0, 0, 5)), None);
+    }
+
+    #[test]
+    fn cylinder_spares_allow_slips_across_tracks() {
+        let mut spec = simple_spec();
+        spec.spare = SpareScheme::SectorsPerCylinder(4);
+        spec.defects = vec![DefectLocation::new(0, 0, 0), DefectLocation::new(0, 0, 1)];
+        let g = spec.build().unwrap();
+        // Cylinder capacity = 2*200 - 4 = 396. Track c0/h0 has 2 defects so
+        // holds 198; c0/h1 holds 198.
+        let t0 = g.track(0);
+        assert_eq!(t0.lbn_count(), 198);
+        assert_eq!(g.lbn_to_pba(0).unwrap(), Pba::new(0, 0, 2));
+        let t1 = g.track(1);
+        assert_eq!(t1.first_lbn(), 198);
+        assert_eq!(t1.lbn_count(), 198);
+        assert_eq!(g.capacity_lbns(), 10 * 396);
+        for lbn in 0..g.capacity_lbns() {
+            let pba = g.lbn_to_pba(lbn).unwrap();
+            assert_eq!(g.pba_to_lbn(pba), Some(lbn), "lbn {lbn}");
+        }
+    }
+
+    #[test]
+    fn zone_spare_tracks_absorb_slips() {
+        let mut spec = simple_spec();
+        spec.spare = SpareScheme::TracksPerZone(1);
+        spec.defects = vec![DefectLocation::new(0, 0, 10)];
+        let g = spec.build().unwrap();
+        // Zone capacity = (20-1)*200 = 3800.
+        assert_eq!(g.capacity_lbns(), 3800);
+        // First track holds 199 (one defect), following tracks 200 each; the
+        // tail spills one LBN into the reserved track.
+        assert_eq!(g.track(0).lbn_count(), 199);
+        assert_eq!(g.track(1).lbn_count(), 200);
+        let last = g.track(g.num_tracks() - 1);
+        assert_eq!(last.lbn_count(), 1, "one slipped LBN lands on the spare track");
+        for lbn in 0..g.capacity_lbns() {
+            let pba = g.lbn_to_pba(lbn).unwrap();
+            assert_eq!(g.pba_to_lbn(pba), Some(lbn), "lbn {lbn}");
+        }
+    }
+
+    #[test]
+    fn insufficient_spare_is_an_error() {
+        let mut spec = simple_spec();
+        spec.spare = SpareScheme::SectorsPerTrack(1);
+        spec.defects = vec![DefectLocation::new(0, 0, 0), DefectLocation::new(0, 0, 1)];
+        assert_eq!(
+            spec.build().unwrap_err(),
+            GeometryError::InsufficientSpare { domain_first_track: 0 }
+        );
+    }
+
+    #[test]
+    fn defect_out_of_range_is_an_error() {
+        let mut spec = simple_spec();
+        spec.defects = vec![DefectLocation::new(0, 0, 200)];
+        assert!(matches!(spec.build().unwrap_err(), GeometryError::DefectOutOfRange(_)));
+    }
+
+    #[test]
+    fn degenerate_specs_are_errors() {
+        assert_eq!(
+            GeometrySpec::pristine(0, vec![ZoneSpec::unskewed(1, 10)]).build().unwrap_err(),
+            GeometryError::NoSurfaces
+        );
+        assert_eq!(GeometrySpec::pristine(1, vec![]).build().unwrap_err(), GeometryError::NoZones);
+        assert_eq!(
+            GeometrySpec::pristine(1, vec![ZoneSpec::unskewed(1, 0)]).build().unwrap_err(),
+            GeometryError::EmptyTrack
+        );
+    }
+
+    #[test]
+    fn multi_zone_boundaries_and_lookup() {
+        let spec = GeometrySpec::pristine(
+            2,
+            vec![ZoneSpec::unskewed(5, 100), ZoneSpec::unskewed(5, 80)],
+        );
+        let g = spec.build().unwrap();
+        assert_eq!(g.zones().len(), 2);
+        assert_eq!(g.zones()[0].lbn_count, 5 * 2 * 100);
+        assert_eq!(g.zones()[1].first_lbn, 1000);
+        assert_eq!(g.zone_of_cyl(4).spt, 100);
+        assert_eq!(g.zone_of_cyl(5).spt, 80);
+        // Track sizes change at the zone boundary.
+        assert_eq!(g.track_bounds(999).unwrap(), (900, 1000));
+        assert_eq!(g.track_bounds(1000).unwrap(), (1000, 1080));
+    }
+
+    #[test]
+    fn skew_advances_slot_zero_angle() {
+        let g = simple_spec().build().unwrap();
+        let t0 = g.track(0);
+        let t1 = g.track(1); // head switch: +20 slots of 200
+        let t2 = g.track(2); // cylinder switch: +40 slots
+        assert!((t0.slot_angle(0) - 0.0).abs() < 1e-12);
+        assert!((t1.slot_angle(0) - 0.1).abs() < 1e-12);
+        assert!((t2.slot_angle(0) - 0.3).abs() < 1e-12);
+        // Slot angles advance by 1/spt.
+        assert!((t0.slot_angle(50) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grown_defect_remaps_single_lbn() {
+        let mut spec = simple_spec();
+        spec.spare = SpareScheme::SectorsPerTrack(1);
+        let mut g = spec.build().unwrap();
+        let before_neighbors = (g.lbn_to_pba(41).unwrap(), g.lbn_to_pba(43).unwrap());
+        let old = g.lbn_to_pba(42).unwrap();
+        let spare = g.add_grown_defect(42).unwrap();
+        assert_ne!(spare, old);
+        assert_eq!(g.lbn_to_pba(42).unwrap(), spare);
+        assert_eq!(g.pba_to_lbn(spare), Some(42));
+        assert_eq!(g.pba_to_lbn(old), None);
+        // Neighbours untouched: boundaries did not change.
+        assert_eq!(g.lbn_to_pba(41).unwrap(), before_neighbors.0);
+        assert_eq!(g.lbn_to_pba(43).unwrap(), before_neighbors.1);
+    }
+
+    #[test]
+    fn grown_defect_without_spare_space_fails() {
+        let mut g = simple_spec().build().unwrap();
+        assert!(matches!(
+            g.add_grown_defect(0).unwrap_err(),
+            GeometryError::NoSpareForGrownDefect(0)
+        ));
+    }
+
+    #[test]
+    fn slots_for_range_is_contiguous_without_defects() {
+        let g = simple_spec().build().unwrap();
+        let slots = g.slots_for_range(TrackId(0), 10, 5);
+        assert_eq!(slots, vec![10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn track_of_lbn_rejects_out_of_range() {
+        let g = simple_spec().build().unwrap();
+        let cap = g.capacity_lbns();
+        assert!(matches!(g.track_of_lbn(cap), Err(GeometryError::LbnOutOfRange(_))));
+        assert!(g.track_of_lbn(cap - 1).is_ok());
+    }
+
+    #[test]
+    fn end_of_disk_spare_tracks_reserved() {
+        let mut spec = simple_spec();
+        spec.spare = SpareScheme::TracksAtEnd(2);
+        let g = spec.build().unwrap();
+        assert_eq!(g.capacity_lbns(), (20 - 2) * 200);
+        assert_eq!(g.track(18).lbn_count(), 0);
+        assert_eq!(g.track(19).lbn_count(), 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Request and completion types, with the per-component service-time
+//! breakdown used to reproduce the paper's Figure 7.
+
+use crate::{SimDur, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The direction of a media access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Transfer from media to host.
+    Read,
+    /// Transfer from host to media.
+    Write,
+}
+
+/// A block-level request: `len` sectors starting at `lbn`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Request {
+    /// Direction.
+    pub op: Op,
+    /// First logical block number.
+    pub lbn: u64,
+    /// Number of sectors (must be positive).
+    pub len: u64,
+}
+
+impl Request {
+    /// Creates a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn new(op: Op, lbn: u64, len: u64) -> Self {
+        assert!(len > 0, "request length must be positive");
+        Request { op, lbn, len }
+    }
+
+    /// A read request.
+    pub fn read(lbn: u64, len: u64) -> Self {
+        Request::new(Op::Read, lbn, len)
+    }
+
+    /// A write request.
+    pub fn write(lbn: u64, len: u64) -> Self {
+        Request::new(Op::Write, lbn, len)
+    }
+
+    /// One past the last LBN touched.
+    pub fn end(&self) -> u64 {
+        self.lbn + self.len
+    }
+
+    /// Request size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.len * crate::SECTOR_BYTES
+    }
+}
+
+/// Where each nanosecond of a request's service went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// Command processing overhead.
+    pub overhead: SimDur,
+    /// Arm movement (including any mid-request cylinder crossings).
+    pub seek: SimDur,
+    /// Head switches between surfaces.
+    pub head_switch: SimDur,
+    /// Rotational delay waiting for needed sectors.
+    pub rot_latency: SimDur,
+    /// Media transfer (sweeping sectors under the head).
+    pub media: SimDur,
+    /// Bus transfer time not overlapped with the above.
+    pub bus: SimDur,
+    /// Extra settle time charged to writes.
+    pub write_settle: SimDur,
+}
+
+impl Breakdown {
+    /// Total of all components.
+    pub fn total(&self) -> SimDur {
+        self.overhead
+            + self.seek
+            + self.head_switch
+            + self.rot_latency
+            + self.media
+            + self.bus
+            + self.write_settle
+    }
+
+    /// Positioning time: everything but media transfer, bus, and overhead.
+    pub fn positioning(&self) -> SimDur {
+        self.seek + self.head_switch + self.rot_latency + self.write_settle
+    }
+}
+
+/// The result of servicing one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Completion {
+    /// The request serviced.
+    pub request: Request,
+    /// When the host issued the command.
+    pub issue: SimTime,
+    /// When the drive began working on it (after queueing and command
+    /// processing).
+    pub service_start: SimTime,
+    /// When the mechanism (arm + media) finished with this request; the head
+    /// is free for the next command from this instant.
+    pub media_end: SimTime,
+    /// When the host observed completion (all data across the bus).
+    pub completion: SimTime,
+    /// True if the read was serviced entirely from the firmware cache.
+    pub cache_hit: bool,
+    /// Component accounting.
+    pub breakdown: Breakdown,
+}
+
+impl Completion {
+    /// Response time as seen by the host driver.
+    pub fn response_time(&self) -> SimDur {
+        self.completion - self.issue
+    }
+
+    /// Disk efficiency for this request: the fraction of response time spent
+    /// moving data to or from the media (the paper's Figure 1 metric,
+    /// computed against a caller-supplied denominator such as head time).
+    pub fn efficiency_against(&self, denominator: SimDur) -> f64 {
+        if denominator == SimDur::ZERO {
+            return 0.0;
+        }
+        self.breakdown.media.as_secs_f64() / denominator.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_accessors() {
+        let r = Request::read(100, 8);
+        assert_eq!(r.end(), 108);
+        assert_eq!(r.bytes(), 8 * 512);
+        assert_eq!(Request::write(0, 1).op, Op::Write);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn zero_length_requests_rejected() {
+        let _ = Request::read(0, 0);
+    }
+
+    #[test]
+    fn breakdown_total_sums_components() {
+        let b = Breakdown {
+            overhead: SimDur::from_ns(1),
+            seek: SimDur::from_ns(2),
+            head_switch: SimDur::from_ns(3),
+            rot_latency: SimDur::from_ns(4),
+            media: SimDur::from_ns(5),
+            bus: SimDur::from_ns(6),
+            write_settle: SimDur::from_ns(7),
+        };
+        assert_eq!(b.total().as_ns(), 28);
+        assert_eq!(b.positioning().as_ns(), 2 + 3 + 4 + 7);
+    }
+
+    #[test]
+    fn efficiency_is_media_fraction() {
+        let mut b = Breakdown::default();
+        b.media = SimDur::from_millis_f64(6.0);
+        let c = Completion {
+            request: Request::read(0, 1),
+            issue: SimTime::ZERO,
+            service_start: SimTime::ZERO,
+            media_end: SimTime::from_ns(0),
+            completion: SimTime::from_ns(12_000_000),
+            cache_hit: false,
+            breakdown: b,
+        };
+        assert!((c.efficiency_against(c.response_time()) - 0.5).abs() < 1e-12);
+        assert_eq!(c.efficiency_against(SimDur::ZERO), 0.0);
+    }
+}

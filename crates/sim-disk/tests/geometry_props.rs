@@ -1,0 +1,138 @@
+//! Property-based tests for the geometry engine: for arbitrary zoned
+//! layouts, spare schemes, defect lists, and policies, the LBN↔physical
+//! mapping must stay a bijection and the track map consistent.
+
+use proptest::prelude::*;
+use sim_disk::defects::{DefectLocation, DefectPolicy, SpareScheme};
+use sim_disk::geometry::{GeometrySpec, Pba, ZoneSpec};
+
+/// An arbitrary small-but-varied geometry spec with defects the spare
+/// scheme can plausibly absorb.
+fn arb_spec() -> impl Strategy<Value = GeometrySpec> {
+    let zones = prop::collection::vec(
+        (2u32..6, 20u32..120, 0u32..12, 0u32..12).prop_map(|(cyls, spt, ts, cs)| ZoneSpec {
+            cylinders: cyls,
+            spt,
+            track_skew: ts,
+            cyl_skew: cs,
+        }),
+        1..4,
+    );
+    let scheme = prop_oneof![
+        Just(SpareScheme::SectorsPerTrack(3)),
+        Just(SpareScheme::SectorsPerCylinder(6)),
+        Just(SpareScheme::TracksPerZone(2)),
+        Just(SpareScheme::TracksAtEnd(3)),
+    ];
+    let policy = prop_oneof![Just(DefectPolicy::Slip), Just(DefectPolicy::Remap)];
+    (1u32..5, zones, scheme, policy, prop::collection::vec((0u32..1000, 0u32..5, 0u32..120), 0..6))
+        .prop_map(|(surfaces, zones, spare, policy, raw_defects)| {
+            let total_cyls: u32 = zones.iter().map(|z| z.cylinders).sum();
+            let defects = raw_defects
+                .into_iter()
+                .map(|(c, h, s)| {
+                    let cyl = c % total_cyls;
+                    // Clamp the slot into the owning zone's track.
+                    let mut acc = 0;
+                    let mut spt = zones[0].spt;
+                    for z in &zones {
+                        if cyl < acc + z.cylinders {
+                            spt = z.spt;
+                            break;
+                        }
+                        acc += z.cylinders;
+                    }
+                    DefectLocation::new(cyl, h % surfaces, s % spt)
+                })
+                .collect();
+            GeometrySpec { surfaces, zones, spare, policy, defects }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every LBN maps to a physical location and back to itself.
+    #[test]
+    fn lbn_mapping_is_a_bijection(spec in arb_spec()) {
+        // Some random specs legitimately exceed their spare budget; those
+        // must error cleanly, everything else must round-trip.
+        if let Ok(geom) = spec.build() {
+            let cap = geom.capacity_lbns();
+            prop_assert!(cap > 0);
+            // Check a stride of LBNs plus the edges.
+            let stride = (cap / 257).max(1);
+            for lbn in (0..cap).step_by(stride as usize).chain([cap - 1]) {
+                let pba = geom.lbn_to_pba(lbn).expect("in range");
+                prop_assert_eq!(geom.pba_to_lbn(pba), Some(lbn), "lbn {}", lbn);
+            }
+        }
+    }
+
+    /// Distinct LBNs never share a physical sector.
+    #[test]
+    fn no_two_lbns_share_a_slot(spec in arb_spec()) {
+        if let Ok(geom) = spec.build() {
+            let cap = geom.capacity_lbns().min(4000);
+            let mut seen = std::collections::HashSet::new();
+            for lbn in 0..cap {
+                let pba = geom.lbn_to_pba(lbn).expect("in range");
+                prop_assert!(seen.insert(pba), "slot {:?} assigned twice", pba);
+            }
+        }
+    }
+
+    /// Track bounds partition the LBN space: consecutive tracks with LBNs
+    /// tile [0, capacity) without gaps or overlaps.
+    #[test]
+    fn tracks_tile_the_lbn_space(spec in arb_spec()) {
+        if let Ok(geom) = spec.build() {
+            let mut next = 0u64;
+            for (_, t) in geom.iter_tracks() {
+                prop_assert_eq!(t.first_lbn(), next);
+                next = t.end_lbn();
+            }
+            prop_assert_eq!(next, geom.capacity_lbns());
+        }
+    }
+
+    /// Defective slots hold no LBN, and under slipping every LBN of a
+    /// defective track still lands on that track (no remap table entries).
+    #[test]
+    fn defects_hold_no_lbns(spec in arb_spec()) {
+        let defects = spec.defects.clone();
+        let policy = spec.policy;
+        if let Ok(geom) = spec.build() {
+            for d in defects {
+                prop_assert_eq!(geom.pba_to_lbn(Pba::new(d.cyl, d.head, d.slot)), None);
+            }
+            if policy == DefectPolicy::Slip {
+                prop_assert_eq!(geom.remapped_lbns().count(), 0);
+            }
+        }
+    }
+
+    /// A grown defect relocates exactly one LBN and leaves every other
+    /// mapping untouched.
+    #[test]
+    fn grown_defect_is_local(spec in arb_spec(), pick in 0u64..u64::MAX) {
+        if let Ok(mut geom) = spec.build() {
+            let cap = geom.capacity_lbns();
+            let victim = pick % cap;
+            let stride = (cap / 97).max(1);
+            let before: Vec<(u64, Pba)> = (0..cap)
+                .step_by(stride as usize)
+                .map(|l| (l, geom.lbn_to_pba(l).expect("in range")))
+                .collect();
+            if geom.add_grown_defect(victim).is_ok() {
+                for (l, pba) in before {
+                    if l == victim {
+                        prop_assert_ne!(geom.lbn_to_pba(l).expect("in range"), pba);
+                    } else {
+                        prop_assert_eq!(geom.lbn_to_pba(l).expect("in range"), pba);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Workload generators for the traxtent evaluation.
+//!
+//! * [`microbench`] — the paper's `onereq` / `tworeq` random-request
+//!   workloads over a single zone (Figures 1, 6, 7, 8 and the §5.2 write
+//!   results);
+//! * [`apps`] — application-level workloads on the FFS prototype (Table 2):
+//!   large-file scan / diff / copy, a Postmark-like small-file transaction
+//!   mix, an SSH-build-like phase mix, and `head*`.
+
+pub mod apps;
+pub mod microbench;

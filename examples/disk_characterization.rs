@@ -1,0 +1,53 @@
+//! Characterize an unknown drive: run both extraction algorithms against a
+//! disk formatted with per-cylinder spares and slipped defects, and compare
+//! what each one learned — and what it cost.
+//!
+//! Run with: `cargo run --release -p traxtent-bench --example disk_characterization`
+
+use dixtrac::{extract_general, extract_scsi, GeneralConfig};
+use scsi::ScsiDisk;
+use sim_disk::defects::{DefectPolicy, SpareScheme};
+use sim_disk::disk::Disk;
+use sim_disk::models;
+
+fn main() {
+    let make = || {
+        Disk::new(models::with_factory_defects(
+            models::small_test_disk(),
+            SpareScheme::SectorsPerCylinder(8),
+            DefectPolicy::Slip,
+            600,
+            42,
+        ))
+    };
+
+    // The SCSI-specific five-step algorithm.
+    let mut s = ScsiDisk::new(make());
+    let r = extract_scsi(&mut s);
+    println!("SCSI-specific extraction:");
+    println!("  surfaces: {}", r.surfaces);
+    println!("  zones: {:?}", r.zones.iter().map(|z| z.spt).collect::<Vec<_>>());
+    println!("  spare scheme: {:?}, defect policy: {:?}", r.scheme, r.policy);
+    println!(
+        "  {} tracks at {:.2} translations/track, {:.1} s of bus time",
+        r.boundaries.num_tracks(),
+        r.translations_per_track,
+        s.elapsed().as_secs_f64()
+    );
+
+    // The general timing-based algorithm sees the same boundaries without
+    // any diagnostic commands.
+    let mut s = ScsiDisk::new(make());
+    let g = extract_general(&mut s, &GeneralConfig { contexts: 24, ..GeneralConfig::default() });
+    println!("general (timing-only) extraction:");
+    println!(
+        "  {} tracks at {:.1} probes/track, {:.1} s of disk time",
+        g.boundaries.num_tracks(),
+        g.probes_per_track,
+        g.elapsed.as_secs_f64()
+    );
+    println!(
+        "  agreement with the SCSI result: {}",
+        if g.boundaries == r.boundaries { "exact" } else { "differs" }
+    );
+}
