@@ -21,6 +21,29 @@ fn bench_geometry(c: &mut Criterion) {
             black_box(geom.lbn_to_pba(black_box(lbn)).unwrap())
         })
     });
+    // Streaming translation: the last-track hint should make this nearly
+    // free compared to the random case above.
+    c.bench_function("geometry/lbn_to_pba_sequential", |b| {
+        let mut lbn = 0u64;
+        b.iter(|| {
+            lbn = (lbn + 1) % cap;
+            black_box(geom.lbn_to_pba(black_box(lbn)).unwrap())
+        })
+    });
+    c.bench_function("geometry/track_of_lbn_random", |b| {
+        let mut lbn = 0u64;
+        b.iter(|| {
+            lbn = (lbn.wrapping_mul(6364136223846793005).wrapping_add(1)) % cap;
+            black_box(geom.track_of_lbn(black_box(lbn)).unwrap())
+        })
+    });
+    c.bench_function("geometry/track_of_lbn_sequential", |b| {
+        let mut lbn = 0u64;
+        b.iter(|| {
+            lbn = (lbn + 1) % cap;
+            black_box(geom.track_of_lbn(black_box(lbn)).unwrap())
+        })
+    });
     c.bench_function("geometry/track_bounds", |b| {
         let mut lbn = 0u64;
         b.iter(|| {
@@ -37,6 +60,24 @@ fn bench_disk_service(c: &mut Criterion) {
         let mut lbn = 0u64;
         b.iter(|| {
             lbn = (lbn + 52800) % 4_000_000;
+            let done = disk.service(Request::read(lbn, 528), t);
+            t = done.completion;
+            black_box(done.completion)
+        })
+    });
+    // The zero-latency access-on-arrival scan dominates full-track reads:
+    // an infinite bus isolates it from bus-delivery chaining, and the
+    // random stride defeats the firmware cache.
+    c.bench_function("disk/zero_latency_scan", |b| {
+        let cfg = sim_disk::disk::DiskConfig {
+            bus: sim_disk::bus::BusConfig::infinite(),
+            ..models::quantum_atlas_10k_ii()
+        };
+        let mut disk = Disk::new(cfg);
+        let mut t = SimTime::ZERO;
+        let mut lbn = 1u64;
+        b.iter(|| {
+            lbn = (lbn.wrapping_mul(6364136223846793005).wrapping_add(1)) % 4_000_000;
             let done = disk.service(Request::read(lbn, 528), t);
             t = done.completion;
             black_box(done.completion)
@@ -77,5 +118,11 @@ fn bench_allocator(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_geometry, bench_disk_service, bench_boundaries, bench_allocator);
+criterion_group!(
+    benches,
+    bench_geometry,
+    bench_disk_service,
+    bench_boundaries,
+    bench_allocator
+);
 criterion_main!(benches);

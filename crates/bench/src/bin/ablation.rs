@@ -11,56 +11,93 @@
 
 use sim_disk::disk::{Disk, DiskConfig};
 use sim_disk::models;
-use traxtent_bench::{header, row, Cli};
+use traxtent_bench::{header, row, row_string, Cli};
 use workloads::microbench::{run_random_io, Alignment, QueueDepth, RandomIoSpec};
 
 fn reductions(cfg: &DiskConfig, count: usize, seed: u64) -> (f64, f64) {
     let mut disk = Disk::new(cfg.clone());
     let track = cfg.geometry.track(0).lbn_count() as u64;
     let mut head = |alignment, queue| {
-        let spec = RandomIoSpec { count, seed, ..RandomIoSpec::reads(track, alignment, queue) };
-        run_random_io(&mut disk, &spec).mean_head_time(queue).as_millis_f64()
+        let spec = RandomIoSpec {
+            count,
+            seed,
+            ..RandomIoSpec::reads(track, alignment, queue)
+        };
+        run_random_io(&mut disk, &spec)
+            .mean_head_time(queue)
+            .as_millis_f64()
     };
-    let one = 1.0 - head(Alignment::TrackAligned, QueueDepth::One)
-        / head(Alignment::Unaligned, QueueDepth::One);
-    let two = 1.0 - head(Alignment::TrackAligned, QueueDepth::Two)
-        / head(Alignment::Unaligned, QueueDepth::Two);
+    let one = 1.0
+        - head(Alignment::TrackAligned, QueueDepth::One)
+            / head(Alignment::Unaligned, QueueDepth::One);
+    let two = 1.0
+        - head(Alignment::TrackAligned, QueueDepth::Two)
+            / head(Alignment::Unaligned, QueueDepth::Two);
     (100.0 * one, 100.0 * two)
 }
 
 fn main() {
     let cli = Cli::parse();
     let count = if cli.quick { 400 } else { 2000 };
+    let pool = cli.executor();
 
     header("Ablation A: head-time reduction from track alignment, per drive");
-    row(["drive".into(), "zero_latency".into(), "onereq".into(), "tworeq".into(), "paper".into()]);
+    row([
+        "drive".into(),
+        "zero_latency".into(),
+        "onereq".into(),
+        "tworeq".into(),
+        "paper".into(),
+    ]);
     let paper: &[(&str, &str)] = &[
         ("Quantum Atlas 10K", "16% / 32%"),
         ("Quantum Atlas 10K II", "18% / 32%"),
         ("IBM Ultrastar 18 ES", "6% / —"),
         ("Seagate Cheetah X15", "8% / —"),
     ];
-    for sheet in models::table1_sheets() {
-        let Some((_, pap)) = paper.iter().find(|(n, _)| *n == sheet.name) else { continue };
+    let sheets: Vec<_> = models::table1_sheets()
+        .into_iter()
+        .filter_map(|sheet| {
+            paper
+                .iter()
+                .find(|(n, _)| *n == sheet.name)
+                .map(|&(_, pap)| (sheet, pap))
+        })
+        .collect();
+    let lines = pool.run(sheets, |_, (sheet, pap)| {
         let cfg = sheet.build();
         let (one, two) = reductions(&cfg, count, cli.seed);
-        row([
+        row_string([
             sheet.name.to_string(),
             sheet.zero_latency.to_string(),
             format!("{one:.0}%"),
             format!("{two:.0}%"),
-            (*pap).to_string(),
-        ]);
+            pap.to_string(),
+        ])
+    });
+    for line in lines {
+        println!("{line}");
     }
 
     header("Ablation B: Atlas 10K II firmware features in isolation");
     row(["configuration".into(), "onereq".into(), "tworeq".into()]);
-    let stock = models::quantum_atlas_10k_ii();
-    let (one, two) = reductions(&stock, count, cli.seed);
-    row(["stock (zero-latency on)".into(), format!("{one:.0}%"), format!("{two:.0}%")]);
-    let no_zl = DiskConfig { zero_latency: false, ..models::quantum_atlas_10k_ii() };
-    let (one, two) = reductions(&no_zl, count, cli.seed);
-    row(["zero-latency disabled".into(), format!("{one:.0}%"), format!("{two:.0}%")]);
+    let configs = vec![
+        ("stock (zero-latency on)", models::quantum_atlas_10k_ii()),
+        (
+            "zero-latency disabled",
+            DiskConfig {
+                zero_latency: false,
+                ..models::quantum_atlas_10k_ii()
+            },
+        ),
+    ];
+    let lines = pool.run(configs, |_, (label, cfg)| {
+        let (one, two) = reductions(&cfg, count, cli.seed);
+        row_string([label.into(), format!("{one:.0}%"), format!("{two:.0}%")])
+    });
+    for line in lines {
+        println!("{line}");
+    }
     println!(
         "with zero-latency disabled, alignment only saves the head switch — the gain collapses, \
          confirming §2.2's claim that the two mechanisms together make the track the sweet spot"

@@ -12,7 +12,7 @@ use sim_disk::defects::{DefectPolicy, SpareScheme};
 use sim_disk::disk::{Disk, DiskConfig};
 use sim_disk::models;
 use traxtent::TrackBoundaries;
-use traxtent_bench::{header, row, Cli};
+use traxtent_bench::{header, row, row_string, Cli};
 
 fn ground_truth(disk: &Disk) -> TrackBoundaries {
     let starts: Vec<u64> = disk
@@ -24,8 +24,55 @@ fn ground_truth(disk: &Disk) -> TrackBoundaries {
     TrackBoundaries::new(starts, disk.geometry().capacity_lbns()).expect("valid")
 }
 
+/// Factory-defect variants of §4.1: `(name, Some((spares, policy,
+/// rate_per_million, seed)))`, or `None` for the pristine drive.
+type Variant = (&'static str, Option<(SpareScheme, DefectPolicy, u32, u64)>);
+
+const VARIANTS: [Variant; 4] = [
+    ("pristine", None),
+    (
+        "cyl-spares+slip",
+        Some((
+            SpareScheme::SectorsPerCylinder(8),
+            DefectPolicy::Slip,
+            500,
+            17,
+        )),
+    ),
+    (
+        "track-spares+slip",
+        Some((SpareScheme::SectorsPerTrack(2), DefectPolicy::Slip, 300, 23)),
+    ),
+    (
+        "cyl-spares+remap",
+        Some((
+            SpareScheme::SectorsPerCylinder(8),
+            DefectPolicy::Remap,
+            500,
+            31,
+        )),
+    ),
+];
+
+/// One extraction run: which drive, which variant, which algorithm.
+enum Job {
+    SmallGeneral(Variant),
+    SmallScsi(Variant),
+    AtlasScsi,
+    AtlasGeneral,
+}
+
+fn apply(variant: &Variant, cfg: DiskConfig) -> DiskConfig {
+    match variant.1 {
+        None => cfg,
+        Some((spare, policy, rate, seed)) => {
+            models::with_factory_defects(cfg, spare, policy, rate, seed)
+        }
+    }
+}
+
 fn main() {
-    let cli = Cli::parse();
+    let cli = Cli::parse_with(&["--full"]);
 
     header("§4.1: track-boundary extraction");
     row([
@@ -37,88 +84,85 @@ fn main() {
         "sim_time".into(),
     ]);
 
-    let variants: Vec<(&str, Box<dyn Fn(DiskConfig) -> DiskConfig>)> = vec![
-        ("pristine", Box::new(|c| c)),
-        (
-            "cyl-spares+slip",
-            Box::new(move |c| {
-                models::with_factory_defects(c, SpareScheme::SectorsPerCylinder(8), DefectPolicy::Slip, 500, 17)
-            }),
-        ),
-        (
-            "track-spares+slip",
-            Box::new(move |c| {
-                models::with_factory_defects(c, SpareScheme::SectorsPerTrack(2), DefectPolicy::Slip, 300, 23)
-            }),
-        ),
-        (
-            "cyl-spares+remap",
-            Box::new(move |c| {
-                models::with_factory_defects(c, SpareScheme::SectorsPerCylinder(8), DefectPolicy::Remap, 500, 31)
-            }),
-        ),
-    ];
-
-    for (name, make) in &variants {
-        // General algorithm on the small disk.
-        let cfg = make(models::small_test_disk());
-        let disk = Disk::new(cfg);
-        let truth = ground_truth(&disk);
-        let mut s = ScsiDisk::new(disk);
-        let gcfg = GeneralConfig { contexts: 24, ..GeneralConfig::default() };
-        let g = extract_general(&mut s, &gcfg);
-        row([
-            "SimTest".into(),
-            (*name).into(),
-            "general (timing)".into(),
-            (g.boundaries == truth).to_string(),
-            format!("{:.1} probes/track", g.probes_per_track),
-            format!("{:.1} s", g.elapsed.as_secs_f64()),
-        ]);
-
-        // SCSI-specific algorithm on the same variant.
-        let cfg = make(models::small_test_disk());
-        let disk = Disk::new(cfg);
-        let truth = ground_truth(&disk);
-        let mut s = ScsiDisk::new(disk);
-        let r = extract_scsi(&mut s);
-        row([
-            "SimTest".into(),
-            (*name).into(),
-            format!("scsi ({:?}, {:?})", r.scheme, r.policy),
-            (r.boundaries == truth).to_string(),
-            format!("{:.2} translations/track", r.translations_per_track),
-            format!("{:.1} s", s.elapsed().as_secs_f64()),
-        ]);
+    let mut jobs = Vec::new();
+    for v in VARIANTS {
+        jobs.push(Job::SmallGeneral(v));
+        jobs.push(Job::SmallScsi(v));
+    }
+    jobs.push(Job::AtlasScsi);
+    if cli.has("--full") {
+        jobs.push(Job::AtlasGeneral);
     }
 
-    // The full Atlas 10K II with the SCSI algorithm (paper: < 1 minute,
-    // ≈ 2.0–2.3 translations per track for the expertise-free walk).
-    let disk = Disk::new(models::quantum_atlas_10k_ii());
-    let truth = ground_truth(&disk);
-    let mut s = ScsiDisk::new(disk);
-    let r = extract_scsi(&mut s);
-    row([
-        "Atlas 10K II".into(),
-        "pristine".into(),
-        "scsi".into(),
-        (r.boundaries == truth).to_string(),
-        format!("{:.2} translations/track ({} total)", r.translations_per_track, r.translations),
-        format!("{:.1} s", s.elapsed().as_secs_f64()),
-    ]);
-
-    if cli.has("--full") {
-        let disk = Disk::new(models::quantum_atlas_10k_ii());
-        let truth = ground_truth(&disk);
-        let mut s = ScsiDisk::new(disk);
-        let g = extract_general(&mut s, &GeneralConfig::default());
-        row([
-            "Atlas 10K II".into(),
-            "pristine".into(),
-            "general (timing)".into(),
-            (g.boundaries == truth).to_string(),
-            format!("{:.1} probes/track", g.probes_per_track),
-            format!("{:.0} s (paper: hours)", g.elapsed.as_secs_f64()),
-        ]);
+    let lines = cli.executor().run(jobs, |_, job| match job {
+        Job::SmallGeneral(v) => {
+            let disk = Disk::new(apply(&v, models::small_test_disk()));
+            let truth = ground_truth(&disk);
+            let mut s = ScsiDisk::new(disk);
+            let gcfg = GeneralConfig {
+                contexts: 24,
+                ..GeneralConfig::default()
+            };
+            let g = extract_general(&mut s, &gcfg);
+            row_string([
+                "SimTest".into(),
+                v.0.into(),
+                "general (timing)".into(),
+                (g.boundaries == truth).to_string(),
+                format!("{:.1} probes/track", g.probes_per_track),
+                format!("{:.1} s", g.elapsed.as_secs_f64()),
+            ])
+        }
+        Job::SmallScsi(v) => {
+            let disk = Disk::new(apply(&v, models::small_test_disk()));
+            let truth = ground_truth(&disk);
+            let mut s = ScsiDisk::new(disk);
+            let r = extract_scsi(&mut s);
+            row_string([
+                "SimTest".into(),
+                v.0.into(),
+                format!("scsi ({:?}, {:?})", r.scheme, r.policy),
+                (r.boundaries == truth).to_string(),
+                format!("{:.2} translations/track", r.translations_per_track),
+                format!("{:.1} s", s.elapsed().as_secs_f64()),
+            ])
+        }
+        Job::AtlasScsi => {
+            // The full Atlas 10K II with the SCSI algorithm (paper: < 1
+            // minute, ≈ 2.0–2.3 translations per track for the
+            // expertise-free walk).
+            let disk = Disk::new(models::quantum_atlas_10k_ii());
+            let truth = ground_truth(&disk);
+            let mut s = ScsiDisk::new(disk);
+            let r = extract_scsi(&mut s);
+            row_string([
+                "Atlas 10K II".into(),
+                "pristine".into(),
+                "scsi".into(),
+                (r.boundaries == truth).to_string(),
+                format!(
+                    "{:.2} translations/track ({} total)",
+                    r.translations_per_track, r.translations
+                ),
+                format!("{:.1} s", s.elapsed().as_secs_f64()),
+            ])
+        }
+        Job::AtlasGeneral => {
+            let disk = Disk::new(models::quantum_atlas_10k_ii());
+            let truth = ground_truth(&disk);
+            let mut s = ScsiDisk::new(disk);
+            let g = extract_general(&mut s, &GeneralConfig::default());
+            row_string([
+                "Atlas 10K II".into(),
+                "pristine".into(),
+                "general (timing)".into(),
+                (g.boundaries == truth).to_string(),
+                format!("{:.1} probes/track", g.probes_per_track),
+                format!("{:.0} s (paper: hours)", g.elapsed.as_secs_f64()),
+            ])
+        }
+    });
+    for line in lines {
+        println!("{line}");
     }
 }

@@ -10,7 +10,7 @@
 use sim_disk::disk::Disk;
 use sim_disk::models;
 use traxtent::model::DiskParams;
-use traxtent_bench::{header, row, Cli};
+use traxtent_bench::{header, row, row_string, Cli};
 use workloads::microbench::{run_random_io, Alignment, QueueDepth, RandomIoSpec};
 
 fn main() {
@@ -25,10 +25,12 @@ fn main() {
         spt: track as u32,
         zero_latency: true,
     };
-    let mut disk = Disk::new(cfg);
 
     header("Figure 1: disk efficiency vs I/O size (Atlas 10K II, zone 0)");
-    println!("max streaming efficiency: {:.3}", params.max_streaming_efficiency());
+    println!(
+        "max streaming efficiency: {:.3}",
+        params.max_streaming_efficiency()
+    );
     row([
         "KB".into(),
         "aligned".into(),
@@ -37,43 +39,41 @@ fn main() {
         "model_unaligned".into(),
     ]);
 
-    // Sweep: fractions of a track up to 8 tracks (≈ 2 MB).
+    // Sweep: fractions of a track up to 8 tracks (≈ 2 MB), plus the
+    // paper's Point A as a final job.
     let sizes: Vec<u64> = (1..=4)
         .map(|k| k * track / 4)
         .chain((2..=8).map(|k| k * track))
         .collect();
-    for io in sizes {
-        let mut run = |alignment| {
-            let spec = RandomIoSpec {
-                count,
-                seed: cli.seed,
-                ..RandomIoSpec::reads(io, alignment, QueueDepth::Two)
-            };
-            run_random_io(&mut disk, &spec).efficiency(QueueDepth::Two)
-        };
-        let aligned = run(Alignment::TrackAligned);
-        let unaligned = run(Alignment::Unaligned);
-        row([
-            format!("{}", io * 512 / 1024),
-            format!("{aligned:.3}"),
-            format!("{unaligned:.3}"),
-            format!("{:.3}", params.aligned_efficiency(io)),
-            format!("{:.3}", params.unaligned_efficiency(io)),
-        ]);
-    }
-
-    // The paper's headline points.
-    let a = {
+    let measure = |io, alignment| {
         let spec = RandomIoSpec {
             count,
             seed: cli.seed,
-            ..RandomIoSpec::reads(track, Alignment::TrackAligned, QueueDepth::Two)
+            ..RandomIoSpec::reads(io, alignment, QueueDepth::Two)
         };
-        run_random_io(&mut disk, &spec).efficiency(QueueDepth::Two)
+        run_random_io(&mut Disk::new(cfg.clone()), &spec).efficiency(QueueDepth::Two)
     };
-    println!(
-        "Point A: track-aligned @ 1 track = {:.3} ({:.0}% of max; paper: 0.73, 82%)",
-        a,
-        100.0 * a / params.max_streaming_efficiency()
-    );
+
+    let mut jobs: Vec<Option<u64>> = sizes.into_iter().map(Some).collect();
+    jobs.push(None); // Point A
+    let lines = cli.executor().run(jobs, |_, job| match job {
+        Some(io) => row_string([
+            format!("{}", io * 512 / 1024),
+            format!("{:.3}", measure(io, Alignment::TrackAligned)),
+            format!("{:.3}", measure(io, Alignment::Unaligned)),
+            format!("{:.3}", params.aligned_efficiency(io)),
+            format!("{:.3}", params.unaligned_efficiency(io)),
+        ]),
+        None => {
+            let a = measure(track, Alignment::TrackAligned);
+            format!(
+                "Point A: track-aligned @ 1 track = {:.3} ({:.0}% of max; paper: 0.73, 82%)",
+                a,
+                100.0 * a / params.max_streaming_efficiency()
+            )
+        }
+    });
+    for line in lines {
+        println!("{line}");
+    }
 }

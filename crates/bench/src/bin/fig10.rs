@@ -9,12 +9,15 @@ use lfs::cleaner::{write_cost_fixed, LfsConfig};
 use lfs::transfer_inefficiency;
 use sim_disk::models;
 use traxtent::model::matthews_transfer_inefficiency;
-use traxtent_bench::{header, row, Cli};
+use traxtent_bench::{header, row, row_string, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    let (ti_samples, updates, capacity) =
-        if cli.quick { (120, 40_000, 1 << 16) } else { (400, 150_000, 1 << 18) };
+    let (ti_samples, updates, capacity) = if cli.quick {
+        (120, 40_000, 1 << 16)
+    } else {
+        (400, 150_000, 1 << 18)
+    };
     let cfg = models::quantum_atlas_10k_ii();
     let track = cfg.geometry.track(0).lbn_count() as u64; // 528 sectors = 264 KB
 
@@ -33,9 +36,11 @@ fn main() {
     let mut sizes: Vec<u64> = (0..8).map(|k| 64u64 << k).collect(); // sectors
     sizes.push(track);
     sizes.sort_unstable();
-    let mut at_track = (0.0, 0.0);
-    for sectors in sizes {
-        let lfs_cfg = LfsConfig { seed: cli.seed, ..LfsConfig::default() };
+    let results = cli.executor().run(sizes, |_, sectors| {
+        let lfs_cfg = LfsConfig {
+            seed: cli.seed,
+            ..LfsConfig::default()
+        };
         // Keep at least 32 segments regardless of segment size so the
         // cleaning reserve stays feasible, and scale the update count with
         // capacity so every point reaches cleaning steady state.
@@ -45,10 +50,7 @@ fn main() {
         let ti_a = transfer_inefficiency(&cfg, sectors, true, ti_samples, cli.seed);
         let ti_u = transfer_inefficiency(&cfg, sectors, false, ti_samples, cli.seed);
         let model = matthews_transfer_inefficiency(5.2e-3, 40e6, sectors as f64 * 512.0);
-        if sectors == track {
-            at_track = (wc * ti_a, wc * ti_u);
-        }
-        row([
+        let line = row_string([
             format!("{}", sectors * 512 / 1024),
             format!("{wc:.2}"),
             format!("{ti_a:.2}"),
@@ -57,6 +59,15 @@ fn main() {
             format!("{:.2}", wc * ti_u),
             format!("{:.2}", wc * model),
         ]);
+        (sectors, line, (wc * ti_a, wc * ti_u))
+    });
+
+    let mut at_track = (0.0, 0.0);
+    for (sectors, line, owc) in results {
+        if sectors == track {
+            at_track = owc;
+        }
+        println!("{line}");
     }
     println!(
         "at the track size: aligned OWC {:.2} vs unaligned {:.2} ({:.0}% lower; paper: 44% lower \

@@ -3,10 +3,10 @@
 //! plus simulated confirmation on the Atlas 10K II (zero-latency) and on
 //! the same drive with zero-latency support disabled (ordinary).
 
-use sim_disk::disk::Disk;
+use sim_disk::disk::{Disk, DiskConfig};
 use sim_disk::models;
 use traxtent::model;
-use traxtent_bench::{header, row, Cli};
+use traxtent_bench::{header, row, row_string, Cli};
 use workloads::microbench::{run_random_io, Alignment, QueueDepth, RandomIoSpec};
 
 fn main() {
@@ -15,10 +15,6 @@ fn main() {
     let cfg = models::quantum_atlas_10k_ii();
     let rev_ms = cfg.spindle.revolution().as_millis_f64();
     let spt = cfg.geometry.track(0).lbn_count();
-    let mut zl_disk = Disk::new(cfg.clone());
-    let mut ord_cfg = cfg;
-    ord_cfg.zero_latency = false;
-    let mut ord_disk = Disk::new(ord_cfg);
 
     header("Figure 3: average rotational latency vs request size (10K RPM)");
     row([
@@ -28,30 +24,39 @@ fn main() {
         "ordinary_model_ms".into(),
         "ordinary_sim_ms".into(),
     ]);
-    for pct in [5u32, 10, 25, 50, 75, 90, 100] {
-        let sectors = (u64::from(spt) * u64::from(pct) / 100).max(1);
-        let f = sectors as f64 / f64::from(spt);
-        // Effective rotational latency = (positioning wait + media sweep)
-        // minus the ideal transfer time, which matches the model's
-        // definition for both firmware types (a zero-latency arc that wraps
-        // hides its waiting inside the media sweep).
-        let sim = |disk: &mut Disk| {
-            let spec = RandomIoSpec {
-                count,
-                seed: cli.seed,
-                ..RandomIoSpec::reads(sectors, Alignment::TrackAligned, QueueDepth::One)
+    let lines = cli
+        .executor()
+        .run(vec![5u32, 10, 25, 50, 75, 90, 100], |_, pct| {
+            let sectors = (u64::from(spt) * u64::from(pct) / 100).max(1);
+            let f = sectors as f64 / f64::from(spt);
+            // Effective rotational latency = (positioning wait + media sweep)
+            // minus the ideal transfer time, which matches the model's
+            // definition for both firmware types (a zero-latency arc that wraps
+            // hides its waiting inside the media sweep).
+            let sim = |zero_latency: bool| {
+                let mut disk = Disk::new(DiskConfig {
+                    zero_latency,
+                    ..cfg.clone()
+                });
+                let spec = RandomIoSpec {
+                    count,
+                    seed: cli.seed,
+                    ..RandomIoSpec::reads(sectors, Alignment::TrackAligned, QueueDepth::One)
+                };
+                let r = run_random_io(&mut disk, &spec);
+                r.mean_component_ms(|c| c.breakdown.rot_latency)
+                    + r.mean_component_ms(|c| c.breakdown.media)
+                    - f * rev_ms
             };
-            let r = run_random_io(disk, &spec);
-            r.mean_component_ms(|c| c.breakdown.rot_latency)
-                + r.mean_component_ms(|c| c.breakdown.media)
-                - f * rev_ms
-        };
-        row([
-            pct.to_string(),
-            format!("{:.2}", model::zero_latency_rot_latency_revs(f) * rev_ms),
-            format!("{:.2}", sim(&mut zl_disk)),
-            format!("{:.2}", model::ordinary_rot_latency_revs(spt) * rev_ms),
-            format!("{:.2}", sim(&mut ord_disk)),
-        ]);
+            row_string([
+                pct.to_string(),
+                format!("{:.2}", model::zero_latency_rot_latency_revs(f) * rev_ms),
+                format!("{:.2}", sim(true)),
+                format!("{:.2}", model::ordinary_rot_latency_revs(spt) * rev_ms),
+                format!("{:.2}", sim(false)),
+            ])
+        });
+    for line in lines {
+        println!("{line}");
     }
 }

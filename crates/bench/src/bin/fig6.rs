@@ -4,24 +4,30 @@
 //! the §5.2 write head times instead.
 
 use sim_disk::bus::BusConfig;
-use sim_disk::disk::{Disk, Op};
+use sim_disk::disk::{Disk, DiskConfig, Op};
 use sim_disk::models;
 use traxtent_bench::{header, row, Cli};
 use workloads::microbench::{run_random_io, Alignment, QueueDepth, RandomIoSpec};
 
+/// The five measurement columns of each row, in print order.
+const CELLS: [(bool, Alignment, QueueDepth); 5] = [
+    (false, Alignment::Unaligned, QueueDepth::One),
+    (false, Alignment::TrackAligned, QueueDepth::One),
+    (false, Alignment::Unaligned, QueueDepth::Two),
+    (false, Alignment::TrackAligned, QueueDepth::Two),
+    (true, Alignment::TrackAligned, QueueDepth::One),
+];
+
+const PCTS: [u64; 5] = [10, 25, 50, 75, 100];
+
 fn main() {
-    let cli = Cli::parse();
+    let cli = Cli::parse_with(&["--writes"]);
     let writes = cli.has("--writes");
     let count = if cli.quick { 300 } else { 2000 };
     let cfg = models::quantum_atlas_10k_ii();
     let track = cfg.geometry.track(0).lbn_count() as u64;
-    let mut disk = Disk::new(cfg.clone());
-    let mut zero_bus = Disk::new(sim_disk::disk::DiskConfig {
-        bus: BusConfig::infinite(),
-        ..cfg
-    });
-
     let op = if writes { Op::Write } else { Op::Read };
+
     header(if writes {
         "§5.2 write head times (Atlas 10K II)"
     } else {
@@ -35,24 +41,48 @@ fn main() {
         "tworeq_aligned_ms".into(),
         "zero_bus_onereq_aligned_ms".into(),
     ]);
-    for pct in [10u64, 25, 50, 75, 100] {
-        let sectors = (track * pct / 100).max(1);
-        let run = |disk: &mut Disk, alignment, queue| {
+
+    // One job per (row, column) cell; each builds its own disk, so cells
+    // are independent and the pool can fan them out freely.
+    let jobs: Vec<(u64, (bool, Alignment, QueueDepth))> = PCTS
+        .iter()
+        .flat_map(|&pct| CELLS.iter().map(move |&cell| (pct, cell)))
+        .collect();
+    let cells = cli
+        .executor()
+        .run(jobs, |_, (pct, (zero_bus, alignment, queue))| {
+            let sectors = (track * pct / 100).max(1);
+            let mut disk = if zero_bus {
+                Disk::new(DiskConfig {
+                    bus: BusConfig::infinite(),
+                    ..cfg.clone()
+                })
+            } else {
+                Disk::new(cfg.clone())
+            };
             let spec = RandomIoSpec {
                 count,
                 op,
                 seed: cli.seed,
                 ..RandomIoSpec::reads(sectors, alignment, queue)
             };
-            run_random_io(disk, &spec).mean_head_time(queue).as_millis_f64()
-        };
+            format!(
+                "{:.2}",
+                run_random_io(&mut disk, &spec)
+                    .mean_head_time(queue)
+                    .as_millis_f64()
+            )
+        });
+
+    for (i, pct) in PCTS.iter().enumerate() {
+        let r = &cells[i * CELLS.len()..(i + 1) * CELLS.len()];
         row([
             pct.to_string(),
-            format!("{:.2}", run(&mut disk, Alignment::Unaligned, QueueDepth::One)),
-            format!("{:.2}", run(&mut disk, Alignment::TrackAligned, QueueDepth::One)),
-            format!("{:.2}", run(&mut disk, Alignment::Unaligned, QueueDepth::Two)),
-            format!("{:.2}", run(&mut disk, Alignment::TrackAligned, QueueDepth::Two)),
-            format!("{:.2}", run(&mut zero_bus, Alignment::TrackAligned, QueueDepth::One)),
+            r[0].clone(),
+            r[1].clone(),
+            r[2].clone(),
+            r[3].clone(),
+            r[4].clone(),
         ]);
     }
     if !writes {
@@ -61,8 +91,6 @@ fn main() {
              (18%/32% below unaligned)"
         );
     } else {
-        println!(
-            "paper: track-sized writes — onereq 10.0 vs 13.9 ms, tworeq 10.2 vs 13.8 ms"
-        );
+        println!("paper: track-sized writes — onereq 10.0 vs 13.9 ms, tworeq 10.2 vs 13.8 ms");
     }
 }

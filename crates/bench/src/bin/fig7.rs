@@ -5,7 +5,7 @@
 use sim_disk::bus::BusConfig;
 use sim_disk::disk::{Disk, DiskConfig};
 use sim_disk::models;
-use traxtent_bench::{header, row, Cli};
+use traxtent_bench::{header, row, row_string, Cli};
 use workloads::microbench::{run_random_io, Alignment, QueueDepth, RandomIoSpec};
 
 fn main() {
@@ -23,33 +23,46 @@ fn main() {
         "total_response".into(),
     ]);
 
-    let show = |label: &str, disk: &mut Disk, alignment| {
-        let spec = RandomIoSpec {
-            count,
-            seed: cli.seed,
-            ..RandomIoSpec::reads(track, alignment, QueueDepth::One)
-        };
-        let r = run_random_io(disk, &spec);
-        let seek = r.mean_component_ms(|c| c.breakdown.seek);
-        let mid = r.mean_component_ms(|c| c.breakdown.rot_latency)
-            + r.mean_component_ms(|c| c.breakdown.head_switch)
-            + r.mean_component_ms(|c| c.breakdown.media);
-        let bus = r.mean_component_ms(|c| c.breakdown.bus);
-        row([
-            label.to_string(),
-            format!("{seek:.2}"),
-            format!("{mid:.2}"),
-            format!("{bus:.2}"),
-            format!("{:.2}", r.mean_response().as_millis_f64()),
-        ]);
-    };
+    let accesses: Vec<(&str, bool, Alignment)> = vec![
+        ("normal (unaligned)", false, Alignment::Unaligned),
+        ("track-aligned", false, Alignment::TrackAligned),
+        ("aligned + out-of-order bus", true, Alignment::TrackAligned),
+    ];
+    let lines = cli
+        .executor()
+        .run(accesses, |_, (label, ooo_bus, alignment)| {
+            let mut disk = if ooo_bus {
+                Disk::new(DiskConfig {
+                    bus: BusConfig::out_of_order(160.0),
+                    ..cfg.clone()
+                })
+            } else {
+                Disk::new(cfg.clone())
+            };
+            let spec = RandomIoSpec {
+                count,
+                seed: cli.seed,
+                ..RandomIoSpec::reads(track, alignment, QueueDepth::One)
+            };
+            let r = run_random_io(&mut disk, &spec);
+            let seek = r.mean_component_ms(|c| c.breakdown.seek);
+            let mid = r.mean_component_ms(|c| c.breakdown.rot_latency)
+                + r.mean_component_ms(|c| c.breakdown.head_switch)
+                + r.mean_component_ms(|c| c.breakdown.media);
+            let bus = r.mean_component_ms(|c| c.breakdown.bus);
+            row_string([
+                label.to_string(),
+                format!("{seek:.2}"),
+                format!("{mid:.2}"),
+                format!("{bus:.2}"),
+                format!("{:.2}", r.mean_response().as_millis_f64()),
+            ])
+        });
+    for line in lines {
+        println!("{line}");
+    }
 
-    let mut normal = Disk::new(cfg.clone());
-    show("normal (unaligned)", &mut normal, Alignment::Unaligned);
-    let mut aligned = Disk::new(cfg.clone());
-    show("track-aligned", &mut aligned, Alignment::TrackAligned);
-    let mut ooo = Disk::new(DiskConfig { bus: BusConfig::out_of_order(160.0), ..cfg });
-    show("aligned + out-of-order bus", &mut ooo, Alignment::TrackAligned);
-
-    println!("paper: normal ≈ 12.0 ms; aligned ≈ 9.2 ms; out-of-order delivery overlaps the bus tail");
+    println!(
+        "paper: normal ≈ 12.0 ms; aligned ≈ 9.2 ms; out-of-order delivery overlaps the bus tail"
+    );
 }

@@ -8,12 +8,16 @@ use sim_disk::models;
 use traxtent_bench::{header, row, Cli};
 use workloads::microbench::{run_random_io, Alignment, QueueDepth, RandomIoSpec};
 
+const PCTS: [u64; 6] = [2, 10, 25, 50, 75, 100];
+
 fn main() {
     let cli = Cli::parse();
     let count = if cli.quick { 400 } else { 3000 };
-    let cfg = DiskConfig { bus: BusConfig::infinite(), ..models::quantum_atlas_10k_ii() };
+    let cfg = DiskConfig {
+        bus: BusConfig::infinite(),
+        ..models::quantum_atlas_10k_ii()
+    };
     let track = cfg.geometry.track(0).lbn_count() as u64;
-    let mut disk = Disk::new(cfg);
 
     header("Figure 8: response time ± σ vs request size (infinite bus)");
     row([
@@ -23,19 +27,26 @@ fn main() {
         "unaligned_mean_ms".into(),
         "unaligned_sigma_ms".into(),
     ]);
-    for pct in [2u64, 10, 25, 50, 75, 100] {
+
+    // One job per (size, alignment) cell.
+    let jobs: Vec<(u64, Alignment)> = PCTS
+        .iter()
+        .flat_map(|&pct| [Alignment::TrackAligned, Alignment::Unaligned].map(move |a| (pct, a)))
+        .collect();
+    let cells = cli.executor().run(jobs, |_, (pct, alignment)| {
         let sectors = (track * pct / 100).max(1);
-        let mut run = |alignment| {
-            let spec = RandomIoSpec {
-                count,
-                seed: cli.seed,
-                ..RandomIoSpec::reads(sectors, alignment, QueueDepth::One)
-            };
-            let r = run_random_io(&mut disk, &spec);
-            (r.mean_response().as_millis_f64(), r.response_std_dev_ms())
+        let spec = RandomIoSpec {
+            count,
+            seed: cli.seed,
+            ..RandomIoSpec::reads(sectors, alignment, QueueDepth::One)
         };
-        let (am, asd) = run(Alignment::TrackAligned);
-        let (um, usd) = run(Alignment::Unaligned);
+        let r = run_random_io(&mut Disk::new(cfg.clone()), &spec);
+        (r.mean_response().as_millis_f64(), r.response_std_dev_ms())
+    });
+
+    for (i, pct) in PCTS.iter().enumerate() {
+        let (am, asd) = cells[2 * i];
+        let (um, usd) = cells[2 * i + 1];
         row([
             pct.to_string(),
             format!("{am:.2}"),

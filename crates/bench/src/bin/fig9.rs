@@ -5,23 +5,29 @@
 
 use sim_disk::models;
 use sim_disk::SimDur;
-use traxtent_bench::{header, row, Cli};
+use traxtent_bench::{header, row, row_string, Cli};
 use videoserver::{hard, soft, ServerConfig};
 
 fn main() {
-    let cli = Cli::parse();
+    let cli = Cli::parse_with(&["--hard"]);
     let cfg = models::quantum_atlas_10k_ii();
     let track = cfg.geometry.track(0).lbn_count() as u64;
 
     if cli.has("--hard") {
         header("§5.4.2: hard real-time streams per disk (4 Mb/s)");
         row(["io_size".into(), "unaligned".into(), "track-aligned".into()]);
-        for (label, io) in [("264 KB", track), ("528 KB", 2 * track)] {
-            row([
-                label.into(),
-                hard::max_streams(&cfg, 4.0, io, false).to_string(),
-                hard::max_streams(&cfg, 4.0, io, true).to_string(),
-            ]);
+        let lines = cli.executor().run(
+            vec![("264 KB", track), ("528 KB", 2 * track)],
+            |_, (label, io)| {
+                row_string([
+                    label.into(),
+                    hard::max_streams(&cfg, 4.0, io, false).to_string(),
+                    hard::max_streams(&cfg, 4.0, io, true).to_string(),
+                ])
+            },
+        );
+        for line in lines {
+            println!("{line}");
         }
         println!("paper: 264 KB → 36 vs 67; 528 KB → 52 vs 75");
         return;
@@ -36,34 +42,54 @@ fn main() {
         "unaligned_io_KB".into(),
         "unaligned_latency_s".into(),
     ]);
-    let per_disk: Vec<usize> =
-        if cli.quick { vec![20, 40, 55, 65] } else { vec![10, 20, 30, 40, 45, 55, 60, 65, 70, 75] };
-    for v in per_disk {
-        let point = |aligned: bool| {
-            let server = ServerConfig { aligned, rounds, quantile, seed: cli.seed, ..Default::default() };
-            soft::operating_point(&cfg, &server, v)
+    let per_disk: Vec<usize> = if cli.quick {
+        vec![20, 40, 55, 65]
+    } else {
+        vec![10, 20, 30, 40, 45, 55, 60, 65, 70, 75]
+    };
+
+    // One job per (streams, alignment) cell; the server simulation is the
+    // dominant cost, so fan the whole grid out.
+    let jobs: Vec<(usize, bool)> = per_disk
+        .iter()
+        .flat_map(|&v| [true, false].map(move |a| (v, a)))
+        .collect();
+    let cells = cli.executor().run(jobs, |_, (v, aligned)| {
+        let server = ServerConfig {
+            aligned,
+            rounds,
+            quantile,
+            seed: cli.seed,
+            ..Default::default()
         };
-        let a = point(true);
-        let u = point(false);
-        let fmt = |p: Option<soft::OperatingPoint>| match p {
+        match soft::operating_point(&cfg, &server, v) {
             Some(p) => (
                 format!("{}", p.io_sectors * 512 / 1024),
                 format!("{:.2}", p.startup_latency.as_secs_f64()),
             ),
             None => ("-".into(), "unsupportable".into()),
-        };
-        let (aio, alat) = fmt(a);
-        let (uio, ulat) = fmt(u);
+        }
+    });
+    for (i, &v) in per_disk.iter().enumerate() {
+        let (aio, alat) = cells[2 * i].clone();
+        let (uio, ulat) = cells[2 * i + 1].clone();
         row([format!("{}", v * 10), aio, alat, uio, ulat]);
     }
 
     // The 0.5 s round-time comparison.
-    let server_a = ServerConfig { aligned: true, rounds, quantile, seed: cli.seed, ..Default::default() };
-    let server_u = ServerConfig { aligned: false, rounds, quantile, seed: cli.seed, ..Default::default() };
     let cap = SimDur::from_secs_f64(0.5);
+    let counts = cli.executor().run(vec![true, false], |_, aligned| {
+        let server = ServerConfig {
+            aligned,
+            rounds,
+            quantile,
+            seed: cli.seed,
+            ..Default::default()
+        };
+        soft::max_streams_at_round(&cfg, &server, track, cap)
+    });
     println!(
         "at a 0.5 s round with track-sized I/Os: aligned {} vs unaligned {} streams/disk (paper: 70 vs 45)",
-        soft::max_streams_at_round(&cfg, &server_a, track, cap),
-        soft::max_streams_at_round(&cfg, &server_u, track, cap)
+        counts[0], counts[1]
     );
 }

@@ -1,0 +1,191 @@
+//! Generates `BENCH_hotpaths.json`: wall-clock for every figure binary run
+//! sequentially (`--threads 1`) versus at the default worker count, plus
+//! in-process medians for the sim-disk hot paths the executor leans on.
+//!
+//! Every parallel run's stdout is byte-compared against the sequential
+//! run's — the report fails loudly if the executor's determinism guarantee
+//! is ever violated. Child binaries run with `--quick` so the report stays
+//! cheap enough for CI.
+
+use sim_disk::bus::BusConfig;
+use sim_disk::disk::{Disk, DiskConfig, Request};
+use sim_disk::models;
+use sim_disk::SimTime;
+use std::hint::black_box;
+use std::path::Path;
+use std::process::Command;
+use std::time::Instant;
+use traxtent_bench::{default_threads, Cli};
+
+const BINARIES: &[&str] = &[
+    "table1",
+    "fig1",
+    "fig3",
+    "fig6",
+    "fig7",
+    "fig8",
+    "table2",
+    "fig9",
+    "fig10",
+    "extraction",
+    "ablation",
+];
+
+/// Median ns/iter over 11 samples of a calibrated batch (≥2 ms per batch),
+/// the same scheme the Criterion benches use.
+fn median_ns(mut f: impl FnMut()) -> f64 {
+    let mut batch = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        if t.elapsed().as_millis() >= 2 {
+            break;
+        }
+        batch *= 4;
+    }
+    let mut samples: Vec<f64> = (0..11)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn hotpath_medians() -> Vec<(&'static str, f64)> {
+    let cfg = models::quantum_atlas_10k_ii();
+    let geom = cfg.geometry.clone();
+    let cap = geom.capacity_lbns();
+    let mut out = Vec::new();
+
+    let mut lbn = 0u64;
+    out.push((
+        "geometry/lbn_to_pba_random",
+        median_ns(|| {
+            lbn = (lbn.wrapping_mul(6364136223846793005).wrapping_add(1)) % cap;
+            black_box(geom.lbn_to_pba(black_box(lbn)).unwrap());
+        }),
+    ));
+    let mut lbn = 0u64;
+    out.push((
+        "geometry/lbn_to_pba_sequential",
+        median_ns(|| {
+            lbn = (lbn + 1) % cap;
+            black_box(geom.lbn_to_pba(black_box(lbn)).unwrap());
+        }),
+    ));
+    let mut lbn = 0u64;
+    out.push((
+        "geometry/track_of_lbn_random",
+        median_ns(|| {
+            lbn = (lbn.wrapping_mul(6364136223846793005).wrapping_add(1)) % cap;
+            black_box(geom.track_of_lbn(black_box(lbn)).unwrap());
+        }),
+    ));
+    let mut lbn = 0u64;
+    out.push((
+        "geometry/track_of_lbn_sequential",
+        median_ns(|| {
+            lbn = (lbn + 1) % cap;
+            black_box(geom.track_of_lbn(black_box(lbn)).unwrap());
+        }),
+    ));
+
+    let zl_cfg = DiskConfig {
+        bus: BusConfig::infinite(),
+        ..models::quantum_atlas_10k_ii()
+    };
+    let mut disk = Disk::new(zl_cfg);
+    let mut t = SimTime::ZERO;
+    let mut lbn = 1u64;
+    out.push((
+        "disk/zero_latency_scan",
+        median_ns(|| {
+            lbn = (lbn.wrapping_mul(6364136223846793005).wrapping_add(1)) % 4_000_000;
+            let done = disk.service(Request::read(lbn, 528), t);
+            t = done.completion;
+            black_box(done.completion);
+        }),
+    ));
+    out
+}
+
+/// Runs `bin --quick [extra args]` and returns (stdout, wall-clock seconds).
+fn timed_run(dir: &Path, bin: &str, extra: &[&str]) -> (Vec<u8>, f64) {
+    let t = Instant::now();
+    let out = Command::new(dir.join(bin))
+        .arg("--quick")
+        .args(extra)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to run {bin}: {e}"));
+    let secs = t.elapsed().as_secs_f64();
+    assert!(out.status.success(), "{bin} exited with {:?}", out.status);
+    (out.stdout, secs)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let cli = Cli::parse_with(&["--stdout"]);
+    let exe = std::env::current_exe().expect("current_exe");
+    let dir = exe.parent().expect("binary directory").to_path_buf();
+
+    let threads = default_threads();
+    let mut bin_entries = Vec::new();
+    for &bin in BINARIES {
+        let (seq_out, seq_s) = timed_run(&dir, bin, &["--threads", "1"]);
+        let (par_out, par_s) = timed_run(&dir, bin, &["--threads", &threads.to_string()]);
+        let identical = seq_out == par_out;
+        assert!(
+            identical,
+            "{bin}: parallel stdout differs from sequential — determinism broken"
+        );
+        eprintln!(
+            "{bin:<12} seq {seq_s:>7.3}s  par({threads}) {par_s:>7.3}s  identical: {identical}"
+        );
+        bin_entries.push(format!(
+            "    {{\"binary\": \"{}\", \"seq_s\": {:.4}, \"parallel_s\": {:.4}, \
+             \"speedup\": {:.3}, \"stdout_identical\": {}}}",
+            json_escape(bin),
+            seq_s,
+            par_s,
+            seq_s / par_s,
+            identical
+        ));
+    }
+
+    eprintln!("measuring hot-path medians...");
+    let medians = hotpath_medians();
+    let median_entries: Vec<String> = medians
+        .iter()
+        .map(|(name, ns)| {
+            eprintln!("{name:<36} {ns:>10.1} ns/iter");
+            format!(
+                "    {{\"name\": \"{}\", \"median_ns\": {:.1}}}",
+                json_escape(name),
+                ns
+            )
+        })
+        .collect();
+
+    let json = format!(
+        "{{\n  \"available_parallelism\": {threads},\n  \"threads_used\": {threads},\n  \
+         \"quick_mode\": true,\n  \"binaries\": [\n{}\n  ],\n  \"hot_paths\": [\n{}\n  ]\n}}\n",
+        bin_entries.join(",\n"),
+        median_entries.join(",\n")
+    );
+    if cli.has("--stdout") {
+        print!("{json}");
+    } else {
+        std::fs::write("BENCH_hotpaths.json", &json).expect("write BENCH_hotpaths.json");
+        eprintln!("wrote BENCH_hotpaths.json");
+    }
+}

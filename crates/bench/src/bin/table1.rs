@@ -2,9 +2,10 @@
 //! presets alongside what the built geometries actually provide.
 
 use sim_disk::models;
-use traxtent_bench::{header, row};
+use traxtent_bench::{header, row, row_string, Cli};
 
 fn main() {
+    let cli = Cli::parse();
     header("Table 1: representative disk characteristics");
     row([
         "Disk".into(),
@@ -17,10 +18,12 @@ fn main() {
         "Capacity".into(),
         "BuiltCapacityGB".into(),
     ]);
-    for sheet in models::table1_sheets() {
+    // Building a full geometry is the expensive part; build each sheet's in
+    // its own job.
+    let lines = cli.executor().run(models::table1_sheets(), |_, sheet| {
         let cfg = sheet.build();
         let built_gb = cfg.geometry.capacity_lbns() as f64 * 512.0 / 1e9;
-        row([
+        row_string([
             sheet.name.to_string(),
             sheet.year.to_string(),
             sheet.rpm.to_string(),
@@ -30,6 +33,9 @@ fn main() {
             cfg.geometry.num_tracks().to_string(),
             format!("{:.1} GB", sheet.capacity_gb),
             format!("{built_gb:.1}"),
-        ]);
+        ])
+    });
+    for line in lines {
+        println!("{line}");
     }
 }

@@ -13,6 +13,13 @@ use workloads::apps;
 const MB: u64 = 1 << 20;
 const GB: u64 = 1 << 30;
 
+const APPS: usize = 6;
+const PERSONALITIES: [Personality; 3] = [
+    Personality::Unmodified,
+    Personality::FastStart,
+    Personality::Traxtent,
+];
+
 fn main() {
     let cli = Cli::parse();
     let scale = if cli.quick { 8 } else { 1 };
@@ -31,23 +38,55 @@ fn main() {
         "head* (s)".into(),
     ]);
 
-    for p in [Personality::Unmodified, Personality::FastStart, Personality::Traxtent] {
-        let fresh = || FileSystem::format(Disk::new(models::quantum_atlas_10k()), p);
-        let scan = apps::scan(&mut fresh(), scan_bytes, 64 * 1024);
-        let diff = apps::diff(&mut fresh(), diff_bytes, 64 * 1024);
-        let copy = apps::copy(&mut fresh(), copy_bytes, 64 * 1024);
-        let (_, tps) = apps::postmark(&mut fresh(), pm_files, pm_tx, cli.seed);
-        let ssh = apps::ssh_build(&mut fresh(), cli.seed);
-        let head = apps::head_star(&mut fresh(), head_files, 200 * 1024);
-        row([
-            format!("{p:?}"),
-            format!("{:.1}", scan.elapsed.as_secs_f64()),
-            format!("{:.1}", diff.elapsed.as_secs_f64()),
-            format!("{:.1}", copy.elapsed.as_secs_f64()),
-            format!("{tps:.0}"),
-            format!("{:.1}", ssh.elapsed.as_secs_f64()),
-            format!("{:.1}", head.elapsed.as_secs_f64()),
-        ]);
+    // One job per (personality, application) cell; every application run
+    // formats its own fresh file system, so cells are independent.
+    let jobs: Vec<(Personality, usize)> = PERSONALITIES
+        .iter()
+        .flat_map(|&p| (0..APPS).map(move |a| (p, a)))
+        .collect();
+    let cells = cli.executor().run(jobs, |_, (p, app)| {
+        let mut fs = FileSystem::format(Disk::new(models::quantum_atlas_10k()), p);
+        match app {
+            0 => format!(
+                "{:.1}",
+                apps::scan(&mut fs, scan_bytes, 64 * 1024)
+                    .elapsed
+                    .as_secs_f64()
+            ),
+            1 => format!(
+                "{:.1}",
+                apps::diff(&mut fs, diff_bytes, 64 * 1024)
+                    .elapsed
+                    .as_secs_f64()
+            ),
+            2 => format!(
+                "{:.1}",
+                apps::copy(&mut fs, copy_bytes, 64 * 1024)
+                    .elapsed
+                    .as_secs_f64()
+            ),
+            3 => {
+                let (_, tps) = apps::postmark(&mut fs, pm_files, pm_tx, cli.seed);
+                format!("{tps:.0}")
+            }
+            4 => format!(
+                "{:.1}",
+                apps::ssh_build(&mut fs, cli.seed).elapsed.as_secs_f64()
+            ),
+            _ => format!(
+                "{:.1}",
+                apps::head_star(&mut fs, head_files, 200 * 1024)
+                    .elapsed
+                    .as_secs_f64()
+            ),
+        }
+    });
+
+    for (i, p) in PERSONALITIES.iter().enumerate() {
+        let r = &cells[i * APPS..(i + 1) * APPS];
+        let mut cols = vec![format!("{p:?}")];
+        cols.extend(r.iter().cloned());
+        row(cols);
     }
     println!(
         "paper (unmodified / fast start / traxtents): scan 189.6/188.9/199.8, diff 69.7/70.0/56.6, \

@@ -15,48 +15,105 @@
 //! | `fig9` | Figure 9 — video-server startup latency (+ §5.4.2 via `--hard`) |
 //! | `fig10` | Figure 10 — LFS overall write cost vs segment size |
 //! | `extraction` | §4.1 — track-boundary extraction cost and accuracy |
+//! | `ablation` | §5.2 ablations — zero-latency / queueing in isolation |
 //!
-//! Every binary accepts `--seed <n>` and a `--quick` flag that shrinks
-//! sample counts for smoke testing.
+//! Every binary accepts `--seed <n>`, `--threads <n>`, and a `--quick` flag
+//! that shrinks sample counts for smoke testing. Simulation cells fan out
+//! across a worker pool (see [`exec`]); output is byte-identical at any
+//! thread count because results are merged back in submission order.
+
+pub mod exec;
 
 /// Command-line convention shared by the binaries: `--quick`, `--seed N`,
-/// plus binary-specific flags.
+/// `--threads N`, plus binary-specific boolean flags.
 #[derive(Debug, Clone)]
 pub struct Cli {
     /// Reduced sample counts for fast smoke runs.
     pub quick: bool,
     /// Base RNG seed.
     pub seed: u64,
-    /// Flags not consumed by the common parser.
-    pub rest: Vec<String>,
+    /// Worker threads for independent simulation cells (1 = sequential).
+    pub threads: usize,
+    /// Binary-specific boolean flags that were passed (e.g. `--writes`).
+    flags: Vec<String>,
 }
 
 impl Cli {
-    /// Parses `std::env::args`, treating `--quick` and `--seed <n>`.
+    /// Parses `std::env::args` accepting only the common flags. Exits with
+    /// a usage message on malformed or unknown arguments.
     pub fn parse() -> Self {
-        let mut quick = false;
-        let mut seed = 0x5eed;
-        let mut rest = Vec::new();
-        let mut args = std::env::args().skip(1);
-        while let Some(a) = args.next() {
-            match a.as_str() {
-                "--quick" => quick = true,
-                "--seed" => {
-                    seed = args
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .expect("--seed requires an integer");
-                }
-                _ => rest.push(a),
+        Self::parse_with(&[])
+    }
+
+    /// Parses `std::env::args`, additionally accepting the given
+    /// binary-specific boolean flags (e.g. `&["--writes"]`). Exits with a
+    /// usage message on malformed or unknown arguments.
+    pub fn parse_with(known: &[&str]) -> Self {
+        match Self::parse_args(std::env::args().skip(1), known) {
+            Ok(cli) => cli,
+            Err(msg) => {
+                let name = std::env::args().next().unwrap_or_else(|| "bench".into());
+                eprintln!("error: {msg}");
+                eprintln!("usage: {name} [--quick] [--seed <n>] [--threads <n>]{}", {
+                    let extra: String = known.iter().map(|f| format!(" [{f}]")).collect();
+                    extra
+                });
+                std::process::exit(2);
             }
         }
-        Cli { quick, seed, rest }
+    }
+
+    /// Pure parser behind [`Cli::parse_with`], separated for testing.
+    pub fn parse_args<I>(args: I, known: &[&str]) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut cli = Cli {
+            quick: false,
+            seed: 0x5eed,
+            threads: default_threads(),
+            flags: Vec::new(),
+        };
+        let mut args = args.into_iter();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => cli.quick = true,
+                "--seed" => {
+                    cli.seed = parse_value(args.next(), "--seed")?;
+                }
+                "--threads" => {
+                    cli.threads = parse_value(args.next(), "--threads")?;
+                    if cli.threads == 0 {
+                        return Err("--threads must be at least 1".into());
+                    }
+                }
+                flag if known.contains(&flag) => cli.flags.push(a),
+                _ => return Err(format!("unrecognized argument `{a}`")),
+            }
+        }
+        Ok(cli)
     }
 
     /// Whether a flag like `--writes` was passed.
     pub fn has(&self, flag: &str) -> bool {
-        self.rest.iter().any(|a| a == flag)
+        self.flags.iter().any(|a| a == flag)
     }
+
+    /// A worker pool sized by `--threads`.
+    pub fn executor(&self) -> exec::Executor {
+        exec::Executor::new(self.threads)
+    }
+}
+
+fn parse_value<T: std::str::FromStr>(arg: Option<String>, flag: &str) -> Result<T, String> {
+    let raw = arg.ok_or_else(|| format!("{flag} requires an integer"))?;
+    raw.parse()
+        .map_err(|_| format!("{flag} requires an integer, got `{raw}`"))
+}
+
+/// Default worker count: all available cores.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Prints a header in the common format.
@@ -64,19 +121,68 @@ pub fn header(title: &str) {
     println!("# {title}");
 }
 
+/// Formats a row of tab-separated columns without printing it.
+pub fn row_string<I: IntoIterator<Item = String>>(cols: I) -> String {
+    cols.into_iter().collect::<Vec<_>>().join("\t")
+}
+
 /// Prints a row of tab-separated columns.
 pub fn row<I: IntoIterator<Item = String>>(cols: I) {
-    println!("{}", cols.into_iter().collect::<Vec<_>>().join("\t"));
+    println!("{}", row_string(cols));
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn args(list: &[&str]) -> std::vec::IntoIter<String> {
+        list.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
     #[test]
-    fn cli_defaults() {
-        let cli = Cli { quick: false, seed: 0x5eed, rest: vec!["--writes".into()] };
+    fn parse_defaults() {
+        let cli = Cli::parse_args(args(&[]), &[]).unwrap();
+        assert!(!cli.quick);
+        assert_eq!(cli.seed, 0x5eed);
+        assert_eq!(cli.threads, default_threads());
+        assert!(cli.flags.is_empty());
+    }
+
+    #[test]
+    fn parse_common_and_known_flags() {
+        let cli = Cli::parse_args(
+            args(&["--quick", "--seed", "42", "--threads", "3", "--writes"]),
+            &["--writes"],
+        )
+        .unwrap();
+        assert!(cli.quick);
+        assert_eq!(cli.seed, 42);
+        assert_eq!(cli.threads, 3);
         assert!(cli.has("--writes"));
         assert!(!cli.has("--hard"));
+    }
+
+    #[test]
+    fn malformed_seed_is_an_error_not_a_panic() {
+        let err = Cli::parse_args(args(&["--seed", "banana"]), &[]).unwrap_err();
+        assert!(err.contains("--seed"), "{err}");
+        let err = Cli::parse_args(args(&["--seed"]), &[]).unwrap_err();
+        assert!(err.contains("--seed"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let err = Cli::parse_args(args(&["--writes"]), &[]).unwrap_err();
+        assert!(err.contains("--writes"), "{err}");
+        let err = Cli::parse_args(args(&["--frobnicate"]), &["--writes"]).unwrap_err();
+        assert!(err.contains("--frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn zero_threads_is_rejected() {
+        assert!(Cli::parse_args(args(&["--threads", "0"]), &[]).is_err());
     }
 }

@@ -30,13 +30,21 @@ impl TraxtentAllocator {
         let cap = boundaries.capacity();
         let mut free = BTreeMap::new();
         free.insert(0, cap);
-        TraxtentAllocator { boundaries, free, free_sectors: cap }
+        TraxtentAllocator {
+            boundaries,
+            free,
+            free_sectors: cap,
+        }
     }
 
     /// Creates an allocator with everything allocated (free space is added
     /// with [`free`](Self::free)).
     pub fn new_full(boundaries: TrackBoundaries) -> Self {
-        TraxtentAllocator { boundaries, free: BTreeMap::new(), free_sectors: 0 }
+        TraxtentAllocator {
+            boundaries,
+            free: BTreeMap::new(),
+            free_sectors: 0,
+        }
     }
 
     /// The boundary table in use.
@@ -67,7 +75,9 @@ impl TraxtentAllocator {
     /// remains.
     pub fn alloc_traxtent(&mut self, near: u64) -> Option<Extent> {
         let n = self.boundaries.num_tracks();
-        let origin = self.boundaries.track_index(near.min(self.boundaries.capacity() - 1));
+        let origin = self
+            .boundaries
+            .track_index(near.min(self.boundaries.capacity() - 1));
         for idx in ring(origin, n) {
             let t = self.boundaries.track_extent(idx);
             if self.is_free(t) {
@@ -88,7 +98,9 @@ impl TraxtentAllocator {
     pub fn alloc_within_track(&mut self, len: u64, near: u64) -> Option<Extent> {
         assert!(len > 0);
         let n = self.boundaries.num_tracks();
-        let origin = self.boundaries.track_index(near.min(self.boundaries.capacity() - 1));
+        let origin = self
+            .boundaries
+            .track_index(near.min(self.boundaries.capacity() - 1));
         for idx in ring(origin, n) {
             let t = self.boundaries.track_extent(idx);
             if let Some(e) = self.first_fit_within(t, len) {
@@ -109,14 +121,24 @@ impl TraxtentAllocator {
     pub fn alloc_near(&mut self, len: u64, near: u64) -> Option<Extent> {
         assert!(len > 0);
         let mut best: Option<(u64, Extent)> = None; // (distance, candidate)
-        // Closest suitable run after `near` (or containing it).
-        for (&s, &l) in self.free.range(..=near).next_back().into_iter().chain(self.free.range(near..)) {
+                                                    // Closest suitable run after `near` (or containing it).
+        for (&s, &l) in self
+            .free
+            .range(..=near)
+            .next_back()
+            .into_iter()
+            .chain(self.free.range(near..))
+        {
             if l < len {
                 continue;
             }
             // Allocate at max(near, s) if the tail from there still fits,
             // else at the run start.
-            let at = if near > s && near + len <= s + l { near } else { s };
+            let at = if near > s && near + len <= s + l {
+                near
+            } else {
+                s
+            };
             let dist = at.abs_diff(near);
             if best.map(|(d, _)| dist < d).unwrap_or(true) {
                 best = Some((dist, Extent::new(at, len)));
@@ -132,7 +154,11 @@ impl TraxtentAllocator {
                 break;
             }
             if l >= len {
-                let at = if near > s && near + len <= s + l { near } else { s };
+                let at = if near > s && near + len <= s + l {
+                    near
+                } else {
+                    s
+                };
                 let dist = at.abs_diff(near);
                 if best.map(|(d, _)| dist < d).unwrap_or(true) {
                     best = Some((dist, Extent::new(at, len)));
@@ -151,10 +177,17 @@ impl TraxtentAllocator {
     ///
     /// Panics if any part of the extent is already free or out of range.
     pub fn free(&mut self, ext: Extent) {
-        assert!(ext.end() <= self.boundaries.capacity(), "free {ext} out of range");
+        assert!(
+            ext.end() <= self.boundaries.capacity(),
+            "free {ext} out of range"
+        );
         // Check no overlap with existing free space.
         if let Some((&s, &l)) = self.free.range(..ext.end()).next_back() {
-            assert!(s + l <= ext.start, "double free of {ext} (overlaps run [{s}, {})", s + l);
+            assert!(
+                s + l <= ext.start,
+                "double free of {ext} (overlaps run [{s}, {})",
+                s + l
+            );
         }
         self.free_sectors += ext.len;
         // Coalesce with predecessor and successor.
@@ -185,7 +218,10 @@ impl TraxtentAllocator {
             .next_back()
             .map(|(&s, &l)| Extent::new(s, l))
             .filter(|r| r.end() > t.start);
-        let within = self.free.range(t.start..t.end()).map(|(&s, &l)| Extent::new(s, l));
+        let within = self
+            .free
+            .range(t.start..t.end())
+            .map(|(&s, &l)| Extent::new(s, l));
         for run in before.into_iter().chain(within) {
             if let Some(overlap) = run.intersect(&t) {
                 if overlap.len >= len {
@@ -198,7 +234,11 @@ impl TraxtentAllocator {
 
     /// Removes `e` from the free map; `e` must be entirely free.
     fn take(&mut self, e: Extent) {
-        let (&s, &l) = self.free.range(..=e.start).next_back().expect("allocating free space");
+        let (&s, &l) = self
+            .free
+            .range(..=e.start)
+            .next_back()
+            .expect("allocating free space");
         debug_assert!(s + l >= e.end(), "take of non-free extent");
         self.free.remove(&s);
         if s < e.start {

@@ -126,7 +126,11 @@ impl TrackBoundaries {
     ///
     /// Panics if `lbn` is at or beyond capacity.
     pub fn track_index(&self, lbn: u64) -> usize {
-        assert!(lbn < self.capacity, "lbn {lbn} beyond capacity {}", self.capacity);
+        assert!(
+            lbn < self.capacity,
+            "lbn {lbn} beyond capacity {}",
+            self.capacity
+        );
         self.starts.partition_point(|&s| s <= lbn) - 1
     }
 
@@ -171,7 +175,11 @@ impl TrackBoundaries {
     /// Panics if the extent extends beyond capacity.
     pub fn split_extent(&self, ext: Extent) -> SplitExtent<'_> {
         assert!(ext.end() <= self.capacity, "extent {ext} beyond capacity");
-        SplitExtent { table: self, cur: ext.start, end: ext.end() }
+        SplitExtent {
+            table: self,
+            cur: ext.start,
+            end: ext.end(),
+        }
     }
 
     /// Clips `[start, start + want)` so it does not cross the end of the
@@ -189,7 +197,11 @@ impl TrackBoundaries {
     /// The whole-track extents fully contained in `ext` (used to turn a free
     /// region into traxtents).
     pub fn contained_tracks(&self, ext: Extent) -> impl Iterator<Item = Extent> + '_ {
-        let first = if ext.start == 0 { 0 } else { self.track_index(ext.start - 1) + 1 };
+        let first = if ext.start == 0 {
+            0
+        } else {
+            self.track_index(ext.start - 1) + 1
+        };
         (first..self.num_tracks())
             .map(|i| self.track_extent(i))
             .take_while(move |t| t.end() <= ext.end())
@@ -236,7 +248,10 @@ mod tests {
 
     #[test]
     fn construction_validates() {
-        assert_eq!(TrackBoundaries::new(vec![], 10).unwrap_err(), BoundariesError::Empty);
+        assert_eq!(
+            TrackBoundaries::new(vec![], 10).unwrap_err(),
+            BoundariesError::Empty
+        );
         assert_eq!(
             TrackBoundaries::new(vec![1], 10).unwrap_err(),
             BoundariesError::MissingOrigin
@@ -277,7 +292,11 @@ mod tests {
         let pieces: Vec<Extent> = tb.split_extent(Extent::new(50, 200)).collect();
         assert_eq!(
             pieces,
-            vec![Extent::new(50, 50), Extent::new(100, 99), Extent::new(199, 51)]
+            vec![
+                Extent::new(50, 50),
+                Extent::new(100, 99),
+                Extent::new(199, 51)
+            ]
         );
         // Fully inside one track: a single piece.
         let single: Vec<Extent> = tb.split_extent(Extent::new(210, 30)).collect();

@@ -20,7 +20,10 @@ impl Extent {
     /// Panics if `len` is zero or the range overflows `u64`.
     pub fn new(start: u64, len: u64) -> Self {
         assert!(len > 0, "extent length must be positive");
-        assert!(start.checked_add(len).is_some(), "extent overflows the LBN space");
+        assert!(
+            start.checked_add(len).is_some(),
+            "extent overflows the LBN space"
+        );
         Extent { start, len }
     }
 

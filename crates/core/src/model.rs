@@ -207,7 +207,10 @@ mod tests {
         // ≈ 82 % of the streaming maximum.
         let p = atlas_params(true);
         let eff = p.aligned_efficiency(528);
-        assert!((0.68..=0.78).contains(&eff), "aligned track efficiency {eff}");
+        assert!(
+            (0.68..=0.78).contains(&eff),
+            "aligned track efficiency {eff}"
+        );
         let ratio = eff / p.max_streaming_efficiency();
         assert!((0.76..=0.88).contains(&ratio), "ratio to max {ratio}");
     }
@@ -226,7 +229,10 @@ mod tests {
         // Point B of Figure 1: 1 MB unaligned ≈ 0.75 efficiency.
         let p = atlas_params(true);
         let eff_1mb = p.unaligned_efficiency(2048);
-        assert!((0.68..=0.82).contains(&eff_1mb), "1 MB unaligned efficiency {eff_1mb}");
+        assert!(
+            (0.68..=0.82).contains(&eff_1mb),
+            "1 MB unaligned efficiency {eff_1mb}"
+        );
     }
 
     #[test]
@@ -235,7 +241,10 @@ mod tests {
         let nzl = atlas_params(false);
         let gain_zl = zl.aligned_efficiency(528) / zl.unaligned_efficiency(528);
         let gain_nzl = nzl.aligned_efficiency(528) / nzl.unaligned_efficiency(528);
-        assert!(gain_zl > gain_nzl + 0.15, "zero-latency should dominate the win");
+        assert!(
+            gain_zl > gain_nzl + 0.15,
+            "zero-latency should dominate the win"
+        );
     }
 
     #[test]

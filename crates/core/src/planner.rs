@@ -38,7 +38,11 @@ impl RequestPlanner {
         assert!(want > 0, "prefetch of zero sectors");
         let (tstart, tend) = self.boundaries.track_bounds(start);
         let track_remaining = tend - start;
-        let len = if start == tstart { track_remaining.max(want) } else { want };
+        let len = if start == tstart {
+            track_remaining.max(want)
+        } else {
+            want
+        };
         len.min(track_remaining).min(cap.max(1))
     }
 
@@ -93,7 +97,11 @@ mod tests {
     fn prefetch_respects_cap() {
         let p = planner();
         assert_eq!(p.plan_prefetch(0, 8, 32), 32);
-        assert_eq!(p.plan_prefetch(0, 8, 0), 1, "cap clamps to at least one sector");
+        assert_eq!(
+            p.plan_prefetch(0, 8, 0),
+            1,
+            "cap clamps to at least one sector"
+        );
     }
 
     #[test]
@@ -143,7 +151,10 @@ impl StripePlanner {
     /// Panics if `stripe_sectors` is zero.
     pub fn new(boundaries: TrackBoundaries, stripe_sectors: u64) -> Self {
         assert!(stripe_sectors > 0, "stripe unit must be positive");
-        StripePlanner { tracks: RequestPlanner::new(boundaries), stripe: stripe_sectors }
+        StripePlanner {
+            tracks: RequestPlanner::new(boundaries),
+            stripe: stripe_sectors,
+        }
     }
 
     /// Next stripe boundary strictly after `lbn`.

@@ -70,7 +70,11 @@ pub struct GeneralExtraction {
 #[derive(Debug, Clone, Copy)]
 enum State {
     /// Trying calibration phase `i`; best (response, phase) so far.
-    Calibrate { i: u32, best_r: SimDur, best_phase: SimDur },
+    Calibrate {
+        i: u32,
+        best_r: SimDur,
+        best_phase: SimDur,
+    },
     /// Re-measuring the one-sector baseline at the current phase.
     Baseline { attempts: u32 },
     /// Measuring the linear model's slope: point `i` of the 17/33/49-sector
@@ -123,7 +127,10 @@ pub fn extract_general(disk: &mut ScsiDisk, config: &GeneralConfig) -> GeneralEx
     let capacity = disk.read_capacity();
     let rev = disk.revolution();
     assert!(config.contexts > 0, "need at least one context");
-    assert!((config.contexts as u64) <= capacity, "more contexts than sectors");
+    assert!(
+        (config.contexts as u64) <= capacity,
+        "more contexts than sectors"
+    );
 
     let mut contexts: Vec<Context> = (0..config.contexts)
         .map(|i| {
@@ -163,7 +170,10 @@ pub fn extract_general(disk: &mut ScsiDisk, config: &GeneralConfig) -> GeneralEx
     }
 
     // Merge: all discovered boundaries, plus the origin.
-    let mut starts: Vec<u64> = contexts.iter().flat_map(|c| c.found.iter().copied()).collect();
+    let mut starts: Vec<u64> = contexts
+        .iter()
+        .flat_map(|c| c.found.iter().copied())
+        .collect();
     starts.push(0);
     starts.sort_unstable();
     starts.dedup();
@@ -221,17 +231,33 @@ fn step(
     };
 
     match ctx.state {
-        State::Calibrate { i, best_r, best_phase } => {
-            let phase = SimDur::from_ns(rev.as_ns() * u64::from(i) / u64::from(config.calibration_phases));
+        State::Calibrate {
+            i,
+            best_r,
+            best_phase,
+        } => {
+            let phase =
+                SimDur::from_ns(rev.as_ns() * u64::from(i) / u64::from(config.calibration_phases));
             let r = probe(disk, ctx.s, 1, phase, probe_reads);
-            let (best_r, best_phase) = if r < best_r { (r, phase) } else { (best_r, best_phase) };
+            let (best_r, best_phase) = if r < best_r {
+                (r, phase)
+            } else {
+                (best_r, best_phase)
+            };
             if i + 1 < config.calibration_phases {
-                ctx.state = State::Calibrate { i: i + 1, best_r, best_phase };
+                ctx.state = State::Calibrate {
+                    i: i + 1,
+                    best_r,
+                    best_phase,
+                };
             } else {
                 ctx.phase = best_phase;
                 ctx.floor_r1 = ctx.floor_r1.min(best_r);
                 ctx.baseline = best_r;
-                ctx.state = State::SlotProbe { i: 0, r: [SimDur::ZERO; 3] };
+                ctx.state = State::SlotProbe {
+                    i: 0,
+                    r: [SimDur::ZERO; 3],
+                };
             }
         }
         State::SlotProbe { i, mut r } => {
@@ -286,7 +312,10 @@ fn step(
                 ctx.state = if ctx.slope.is_some() {
                     next_measure_state(ctx, capacity)
                 } else {
-                    State::SlotProbe { i: 0, r: [SimDur::ZERO; 3] }
+                    State::SlotProbe {
+                        i: 0,
+                        r: [SimDur::ZERO; 3],
+                    }
                 };
             } else if attempts < 3 {
                 // Shift the issue phase so the head arrives just before the
@@ -295,7 +324,9 @@ fn step(
                 ctx.phase = SimDur::from_ns(
                     (ctx.phase.as_ns() + excess.saturating_sub(target).as_ns()) % rev.as_ns(),
                 );
-                ctx.state = State::Baseline { attempts: attempts + 1 };
+                ctx.state = State::Baseline {
+                    attempts: attempts + 1,
+                };
             } else {
                 // Persistent drift (e.g. zone change altered the layout):
                 // recalibrate from scratch.
@@ -309,7 +340,10 @@ fn step(
         State::VerifyLow => {
             let p = ctx.spt_est.expect("verify requires a prediction");
             if ctx.s + p >= capacity {
-                ctx.state = State::Bisect { lo: 1, hi: capacity - ctx.s + 1 };
+                ctx.state = State::Bisect {
+                    lo: 1,
+                    hi: capacity - ctx.s + 1,
+                };
                 return;
             }
             let r = probe(disk, ctx.s, p, ctx.phase, probe_reads);
@@ -320,7 +354,10 @@ fn step(
                 } else {
                     // The failed prediction may mean the layout changed under
                     // us (zone boundary): re-measure the slope here first.
-                    ctx.state = State::SlotProbe { i: 0, r: [SimDur::ZERO; 3] };
+                    ctx.state = State::SlotProbe {
+                        i: 0,
+                        r: [SimDur::ZERO; 3],
+                    };
                 }
             } else {
                 ctx.state = State::VerifyHigh;
@@ -338,14 +375,23 @@ fn step(
             if crosses(r, ctx.baseline, ctx.slope.expect("slope measured"), p + 1) {
                 finish_track(ctx, p, capacity);
             } else if ctx.slope_at == Some(ctx.s) {
-                ctx.state = State::SearchUp { lo: p + 1, hi: (p + 1) * 2 };
+                ctx.state = State::SearchUp {
+                    lo: p + 1,
+                    hi: (p + 1) * 2,
+                };
             } else {
-                ctx.state = State::SlotProbe { i: 0, r: [SimDur::ZERO; 3] };
+                ctx.state = State::SlotProbe {
+                    i: 0,
+                    r: [SimDur::ZERO; 3],
+                };
             }
         }
         State::SearchUp { lo, hi } => {
             if ctx.s + hi > capacity {
-                ctx.state = State::Bisect { lo, hi: capacity - ctx.s + 1 };
+                ctx.state = State::Bisect {
+                    lo,
+                    hi: capacity - ctx.s + 1,
+                };
                 return;
             }
             let r = probe(disk, ctx.s, hi, ctx.phase, probe_reads);
@@ -427,7 +473,10 @@ mod tests {
     fn test_config() -> GeneralConfig {
         // Fewer contexts than the paper's 100 (the test disk is small), but
         // still comfortably above the 10 cache segments.
-        GeneralConfig { contexts: 24, ..GeneralConfig::default() }
+        GeneralConfig {
+            contexts: 24,
+            ..GeneralConfig::default()
+        }
     }
 
     #[test]
@@ -490,7 +539,10 @@ mod tests {
     fn zero_contexts_panics() {
         let disk = Disk::new(models::small_test_disk());
         let mut s = ScsiDisk::new(disk);
-        let cfg = GeneralConfig { contexts: 0, ..GeneralConfig::default() };
+        let cfg = GeneralConfig {
+            contexts: 0,
+            ..GeneralConfig::default()
+        };
         let _ = extract_general(&mut s, &cfg);
     }
 }

@@ -103,8 +103,7 @@ pub fn extract_scsi(disk: &mut ScsiDisk) -> ScsiExtraction {
     // Boundary walk with predict-and-verify (this subsumes step 4's
     // per-zone track sizes).
     let starts = walk_boundaries(disk, capacity, surfaces);
-    let boundaries =
-        TrackBoundaries::new(starts, capacity).expect("walk produces a valid table");
+    let boundaries = TrackBoundaries::new(starts, capacity).expect("walk produces a valid table");
 
     // Step 4: zone summary from the boundary table + per-track cylinder
     // lookup on zone candidates.
@@ -154,12 +153,7 @@ fn discover_surfaces(disk: &mut ScsiDisk, capacity: u64) -> u32 {
 
 /// First LBN after `lbn` that lies on a different track, by exponential
 /// probing plus bisection. `here` is `lbn`'s translation.
-fn next_track_start(
-    disk: &mut ScsiDisk,
-    lbn: u64,
-    here: Pba,
-    capacity: u64,
-) -> Option<u64> {
+fn next_track_start(disk: &mut ScsiDisk, lbn: u64, here: Pba, capacity: u64) -> Option<u64> {
     let same_track = |p: Pba| p.cyl == here.cyl && p.head == here.head;
     // Exponential search for an upper bound.
     let mut step = 64u64;
@@ -256,7 +250,11 @@ fn discover_zones(disk: &mut ScsiDisk, tb: &TrackBoundaries) -> Vec<ZoneGuess> {
     // short tracks — defects, cylinder spares — do not open zones).
     let mut cur_spt = mode_of_next(&lens, 0);
     let first_cyl = disk.translate_lbn(0).cyl;
-    zones.push(ZoneGuess { first_lbn: 0, first_cyl, spt: cur_spt as u32 });
+    zones.push(ZoneGuess {
+        first_lbn: 0,
+        first_cyl,
+        spt: cur_spt as u32,
+    });
     let mut i = 1;
     while i < lens.len() {
         let l = lens[i].1;
@@ -390,11 +388,7 @@ fn classify_scheme(
 
 /// Any LBN on the same physical track as the defect, found by probing slots
 /// around the defective one.
-fn first_lbn_on_track(
-    disk: &mut ScsiDisk,
-    d: DefectLocation,
-    tb: &TrackBoundaries,
-) -> Option<u64> {
+fn first_lbn_on_track(disk: &mut ScsiDisk, d: DefectLocation, tb: &TrackBoundaries) -> Option<u64> {
     for delta in 1..8u32 {
         for slot in [d.slot.checked_sub(delta), d.slot.checked_add(delta)]
             .into_iter()
@@ -415,9 +409,11 @@ fn first_lbn_on_track(
 fn classify_policy(disk: &mut ScsiDisk, defects: &[DefectLocation]) -> PolicyGuess {
     for d in defects.iter().take(16) {
         // The LBN just before the defective slot (same track).
-        let before = match d.slot.checked_sub(1).and_then(|s| {
-            disk.translate_pba(Pba::new(d.cyl, d.head, s))
-        }) {
+        let before = match d
+            .slot
+            .checked_sub(1)
+            .and_then(|s| disk.translate_pba(Pba::new(d.cyl, d.head, s)))
+        {
             Some(l) => l,
             None => continue,
         };
@@ -467,7 +463,10 @@ mod tests {
         let expect = ground_truth_boundaries(&disk);
         let mut s = ScsiDisk::new(disk);
         let got = extract_scsi(&mut s);
-        assert_eq!(got.boundaries, expect, "extracted boundaries differ from ground truth");
+        assert_eq!(
+            got.boundaries, expect,
+            "extracted boundaries differ from ground truth"
+        );
         got
     }
 

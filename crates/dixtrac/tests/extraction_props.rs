@@ -32,7 +32,12 @@ fn arb_slip_spec() -> impl Strategy<Value = GeometrySpec> {
         Just(SpareScheme::TracksPerZone(2)),
         Just(SpareScheme::TracksAtEnd(2)),
     ];
-    (2u32..5, zones, scheme, prop::collection::vec((0u32..10_000u32, 0u32..5, 0u32..60), 0..5))
+    (
+        2u32..5,
+        zones,
+        scheme,
+        prop::collection::vec((0u32..10_000u32, 0u32..5, 0u32..60), 0..5),
+    )
         .prop_map(|(surfaces, zones, spare, raw)| {
             let total_cyls: u32 = zones.iter().map(|z| z.cylinders).sum();
             let defects = if spare == SpareScheme::None {
@@ -42,7 +47,13 @@ fn arb_slip_spec() -> impl Strategy<Value = GeometrySpec> {
                     .map(|(c, h, s)| DefectLocation::new(c % total_cyls, h % surfaces, s))
                     .collect()
             };
-            GeometrySpec { surfaces, zones, spare, policy: DefectPolicy::Slip, defects }
+            GeometrySpec {
+                surfaces,
+                zones,
+                spare,
+                policy: DefectPolicy::Slip,
+                defects,
+            }
         })
 }
 
@@ -53,12 +64,7 @@ fn disk_for(spec: GeometrySpec) -> Option<Disk> {
     // count the random geometry produced: seek(d) = 0.8 + k·(d − 1) ms.
     let k = 0.002;
     let cmax = f64::from(cylinders - 1);
-    let seek = SeekCurve::calibrate(
-        0.8,
-        0.8 - k + k * cmax / 3.0,
-        0.8 - k + k * cmax,
-        cylinders,
-    );
+    let seek = SeekCurve::calibrate(0.8, 0.8 - k + k * cmax / 3.0, 0.8 - k + k * cmax, cylinders);
     Some(Disk::new(DiskConfig {
         name: "prop".into(),
         geometry,

@@ -76,7 +76,11 @@ impl BufferCache {
     /// Inserts `block` (clean unless already dirty). Returns dirty blocks
     /// evicted to make room, which the caller must write out.
     pub fn insert(&mut self, block: u64) -> Vec<u64> {
-        let evicted = if self.map.contains_key(&block) { Vec::new() } else { self.make_room() };
+        let evicted = if self.map.contains_key(&block) {
+            Vec::new()
+        } else {
+            self.make_room()
+        };
         self.map.entry(block).or_insert((false, 0));
         self.touch(block);
         evicted
@@ -85,7 +89,11 @@ impl BufferCache {
     /// Marks `block` dirty, inserting it if absent. Returns evicted dirty
     /// blocks.
     pub fn insert_dirty(&mut self, block: u64) -> Vec<u64> {
-        let evicted = if self.map.contains_key(&block) { Vec::new() } else { self.make_room() };
+        let evicted = if self.map.contains_key(&block) {
+            Vec::new()
+        } else {
+            self.make_room()
+        };
         self.map.entry(block).or_insert((false, 0)).0 = true;
         self.touch(block);
         evicted
@@ -112,8 +120,12 @@ impl BufferCache {
 
     /// All dirty blocks, sorted (for sync).
     pub fn dirty_blocks(&self) -> Vec<u64> {
-        let mut v: Vec<u64> =
-            self.map.iter().filter(|(_, e)| e.0).map(|(&b, _)| b).collect();
+        let mut v: Vec<u64> = self
+            .map
+            .iter()
+            .filter(|(_, e)| e.0)
+            .map(|(&b, _)| b)
+            .collect();
         v.sort_unstable();
         v
     }

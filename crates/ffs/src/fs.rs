@@ -159,7 +159,11 @@ impl FileSystem {
     ///
     /// Returns [`FsError::NoSuchFile`] for unknown ids.
     pub fn size_of(&self, file: FileId) -> Result<u64, FsError> {
-        Ok(self.files.get(&file).ok_or(FsError::NoSuchFile(file))?.size_bytes)
+        Ok(self
+            .files
+            .get(&file)
+            .ok_or(FsError::NoSuchFile(file))?
+            .size_bytes)
     }
 
     /// Creates an empty file, charging a synchronous one-block metadata
@@ -204,7 +208,9 @@ impl FileSystem {
         // The inode block for the file's group: the first block of group g.
         let group = file.0 % (self.layout.blocks() / BLOCKS_PER_GROUP);
         let lbn = group * BLOCKS_PER_GROUP * BLOCK_SECTORS;
-        let c = self.disk.service(Request::write(lbn, BLOCK_SECTORS), self.clock);
+        let c = self
+            .disk
+            .service(Request::write(lbn, BLOCK_SECTORS), self.clock);
         self.stats.disk_writes += 1;
         self.stats.sectors_written += BLOCK_SECTORS;
         self.clock = c.completion;
@@ -224,7 +230,10 @@ impl FileSystem {
         {
             let inode = self.files.get(&file).ok_or(FsError::NoSuchFile(file))?;
             if offset + len > inode.size_bytes {
-                return Err(FsError::BeyondEof { file, offset: offset + len });
+                return Err(FsError::BeyondEof {
+                    file,
+                    offset: offset + len,
+                });
             }
         }
         let first = offset / BYTES_PER_BLOCK;
@@ -277,7 +286,9 @@ impl FileSystem {
         // Demand miss: fetch a cluster synchronously.
         let ra_len = self.plan_fetch(file, fb);
         let lbn = self.layout.block_to_lbn(db);
-        let c = self.disk.service(Request::read(lbn, ra_len * BLOCK_SECTORS), self.clock);
+        let c = self
+            .disk
+            .service(Request::read(lbn, ra_len * BLOCK_SECTORS), self.clock);
         self.stats.disk_reads += 1;
         self.stats.sectors_read += ra_len * BLOCK_SECTORS;
         self.stats.largest_read_sectors =
@@ -316,7 +327,10 @@ impl FileSystem {
                     // track boundary (§4.2.2, "traxtent-sized access").
                     contig.min(self.layout.traxtent_run(db))
                 } else {
-                    (seq + 1).min(contig).min(self.cluster_cap).min(self.layout.traxtent_run(db))
+                    (seq + 1)
+                        .min(contig)
+                        .min(self.cluster_cap)
+                        .min(self.layout.traxtent_run(db))
                 }
             }
         };
@@ -327,7 +341,9 @@ impl FileSystem {
     /// `fb`, unless the file ends, the pattern is non-sequential, or data is
     /// already cached/in flight.
     fn maybe_prefetch(&mut self, file: FileId, fb: u64) {
-        let Some(inode) = self.files.get(&file) else { return };
+        let Some(inode) = self.files.get(&file) else {
+            return;
+        };
         if fb as usize >= inode.blocks.len() || inode.nonseq_seen {
             return;
         }
@@ -337,11 +353,12 @@ impl FileSystem {
         }
         let len = self.plan_fetch(file, fb);
         let lbn = self.layout.block_to_lbn(db);
-        let c = self.disk.service(Request::read(lbn, len * BLOCK_SECTORS), self.clock);
+        let c = self
+            .disk
+            .service(Request::read(lbn, len * BLOCK_SECTORS), self.clock);
         self.stats.disk_reads += 1;
         self.stats.sectors_read += len * BLOCK_SECTORS;
-        self.stats.largest_read_sectors =
-            self.stats.largest_read_sectors.max(len * BLOCK_SECTORS);
+        self.stats.largest_read_sectors = self.stats.largest_read_sectors.max(len * BLOCK_SECTORS);
         for i in 0..len {
             self.inflight.insert(db + i, c.completion);
         }
@@ -375,12 +392,14 @@ impl FileSystem {
             let db = self.files[&file].blocks[fb as usize];
             // A partial overwrite of an uncached existing block reads it
             // first (read-modify-write at block granularity).
-            let partial = (fb == first && offset % BYTES_PER_BLOCK != 0)
-                || (fb == last && (offset + len) % BYTES_PER_BLOCK != 0);
+            let partial = (fb == first && !offset.is_multiple_of(BYTES_PER_BLOCK))
+                || (fb == last && !(offset + len).is_multiple_of(BYTES_PER_BLOCK));
             let existed = fb < nblocks;
             if partial && existed && !self.cache.peek(db) {
                 let lbn = self.layout.block_to_lbn(db);
-                let c = self.disk.service(Request::read(lbn, BLOCK_SECTORS), self.clock);
+                let c = self
+                    .disk
+                    .service(Request::read(lbn, BLOCK_SECTORS), self.clock);
                 self.stats.disk_reads += 1;
                 self.stats.sectors_read += BLOCK_SECTORS;
                 self.clock = c.completion;
@@ -418,7 +437,9 @@ impl FileSystem {
     /// clean. Does not advance the application clock (write-back).
     fn write_run(&mut self, start: u64, len: u64) {
         let lbn = self.layout.block_to_lbn(start);
-        let _ = self.disk.service(Request::write(lbn, len * BLOCK_SECTORS), self.clock);
+        let _ = self
+            .disk
+            .service(Request::write(lbn, len * BLOCK_SECTORS), self.clock);
         self.stats.disk_writes += 1;
         self.stats.sectors_written += len * BLOCK_SECTORS;
         for b in start..start + len {
@@ -430,7 +451,9 @@ impl FileSystem {
     /// already clean or they would still be cached).
     fn flush_block(&mut self, b: u64) {
         let lbn = self.layout.block_to_lbn(b);
-        let _ = self.disk.service(Request::write(lbn, BLOCK_SECTORS), self.clock);
+        let _ = self
+            .disk
+            .service(Request::write(lbn, BLOCK_SECTORS), self.clock);
         self.stats.disk_writes += 1;
         self.stats.sectors_written += BLOCK_SECTORS;
     }
@@ -577,14 +600,20 @@ mod tests {
         let mut f = fs(Personality::Unmodified);
         let id = f.create();
         f.write(id, 0, 1000).unwrap();
-        assert!(matches!(f.read(id, 0, 1001), Err(FsError::BeyondEof { .. })));
+        assert!(matches!(
+            f.read(id, 0, 1001),
+            Err(FsError::BeyondEof { .. })
+        ));
         assert!(f.read(id, 0, 1000).is_ok());
     }
 
     #[test]
     fn unknown_file_fails() {
         let mut f = fs(Personality::Unmodified);
-        assert!(matches!(f.read(FileId(999), 0, 1), Err(FsError::NoSuchFile(_))));
+        assert!(matches!(
+            f.read(FileId(999), 0, 1),
+            Err(FsError::NoSuchFile(_))
+        ));
         assert!(matches!(f.delete(FileId(999)), Err(FsError::NoSuchFile(_))));
     }
 
@@ -692,7 +721,10 @@ mod tests {
         let mut f = fs(Personality::Unmodified);
         let id = f.create();
         let total = f.layout().blocks() * BYTES_PER_BLOCK;
-        assert!(matches!(f.write(id, 0, total + BYTES_PER_BLOCK), Err(FsError::NoSpace)));
+        assert!(matches!(
+            f.write(id, 0, total + BYTES_PER_BLOCK),
+            Err(FsError::NoSpace)
+        ));
     }
 
     #[test]

@@ -54,7 +54,10 @@ impl Layout {
         capacity_lbns: u64,
     ) -> Self {
         let blocks = capacity_lbns / BLOCK_SECTORS;
-        assert!(blocks >= BLOCKS_PER_GROUP, "disk too small for one block group");
+        assert!(
+            blocks >= BLOCKS_PER_GROUP,
+            "disk too small for one block group"
+        );
         let mut excluded = vec![false; blocks as usize];
         let mut free = vec![true; blocks as usize];
         let mut free_count = blocks;
@@ -70,7 +73,14 @@ impl Layout {
                 }
             }
         }
-        Layout { personality, boundaries, blocks, free, excluded, free_count }
+        Layout {
+            personality,
+            boundaries,
+            blocks,
+            free,
+            excluded,
+            free_count,
+        }
     }
 
     /// The personality this layout was formatted with.
@@ -136,7 +146,10 @@ impl Layout {
     ///
     /// Panics if the block is already free or is excluded.
     pub fn release(&mut self, b: u64) {
-        assert!(!self.excluded[b as usize], "excluded block {b} cannot be freed");
+        assert!(
+            !self.excluded[b as usize],
+            "excluded block {b} cannot be freed"
+        );
         assert!(!self.free[b as usize], "block {b} is already free");
         self.free[b as usize] = true;
         self.free_count += 1;
@@ -230,7 +243,11 @@ impl Layout {
         let n = self.boundaries.num_tracks();
         for k in 0..2 * n {
             let step = k / 2 + k % 2;
-            let idx = if k % 2 == 0 { origin.checked_add(step) } else { origin.checked_sub(step) };
+            let idx = if k % 2 == 0 {
+                origin.checked_add(step)
+            } else {
+                origin.checked_sub(step)
+            };
             let Some(idx) = idx else { continue };
             if idx >= n {
                 continue;
@@ -291,8 +308,15 @@ mod tests {
         assert!(!l.is_excluded(13));
         // 200 sectors = 12.5 blocks per track, so every *other* track
         // boundary falls mid-block: one excluded block per 25 ≈ 4 %.
-        assert!(!l.is_excluded(24), "track 1 ends exactly on a block boundary");
-        assert!((0.03..=0.05).contains(&l.excluded_fraction()), "{}", l.excluded_fraction());
+        assert!(
+            !l.is_excluded(24),
+            "track 1 ends exactly on a block boundary"
+        );
+        assert!(
+            (0.03..=0.05).contains(&l.excluded_fraction()),
+            "{}",
+            l.excluded_fraction()
+        );
     }
 
     #[test]

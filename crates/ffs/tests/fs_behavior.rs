@@ -18,7 +18,11 @@ fn fs(p: Personality) -> FileSystem {
 /// personality.
 #[test]
 fn churn_conserves_space() {
-    for p in [Personality::Unmodified, Personality::FastStart, Personality::Traxtent] {
+    for p in [
+        Personality::Unmodified,
+        Personality::FastStart,
+        Personality::Traxtent,
+    ] {
         let mut f = fs(p);
         let baseline = f.layout().free_blocks();
         let mut rng = StdRng::seed_from_u64(11);

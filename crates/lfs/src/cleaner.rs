@@ -59,8 +59,7 @@ impl WriteTally {
         if self.new_written == 0 {
             return 1.0;
         }
-        (self.new_written + self.clean_read + self.clean_written) as f64
-            / self.new_written as f64
+        (self.new_written + self.clean_read + self.clean_written) as f64 / self.new_written as f64
     }
 }
 
@@ -106,7 +105,10 @@ impl LfsSim {
         );
         let capacity: u64 = (0..table.len()).map(|i| table.get(i).len).sum();
         let live_target = (capacity as f64 * config.utilization) as u64;
-        let max_seg = (0..table.len()).map(|i| table.get(i).len).max().expect("non-empty");
+        let max_seg = (0..table.len())
+            .map(|i| table.get(i).len)
+            .max()
+            .expect("non-empty");
         assert!(
             live_target + (config.reserve_segments as u64 + 2) * max_seg <= capacity,
             "utilization too high to maintain the cleaning reserve \
@@ -161,7 +163,11 @@ impl LfsSim {
         }
         for (i, &c) in counts.iter().enumerate() {
             if c != self.table.get(i).live {
-                return Err(format!("segment {i}: {} located vs {} live", c, self.table.get(i).live));
+                return Err(format!(
+                    "segment {i}: {} located vs {} live",
+                    c,
+                    self.table.get(i).live
+                ));
             }
         }
         Ok(())
@@ -317,7 +323,11 @@ mod tests {
         let mut sim = LfsSim::fixed(CAP, 512, LfsConfig::default());
         let before = sim.live_sectors();
         sim.run_updates(20_000);
-        assert_eq!(sim.live_sectors(), before, "cleaner must not lose live data");
+        assert_eq!(
+            sim.live_sectors(),
+            before,
+            "cleaner must not lose live data"
+        );
     }
 
     #[test]
@@ -325,7 +335,10 @@ mod tests {
         let mut sim = LfsSim::fixed(CAP, 512, LfsConfig::default());
         let t = sim.run_updates(20_000);
         assert!(t.write_cost() >= 1.0);
-        assert_eq!(t.clean_read, t.clean_written, "cleaner rewrites what it reads");
+        assert_eq!(
+            t.clean_read, t.clean_written,
+            "cleaner rewrites what it reads"
+        );
     }
 
     #[test]
@@ -354,13 +367,19 @@ mod tests {
             CAP,
             1024,
             40_000,
-            LfsConfig { utilization: 0.3, ..LfsConfig::default() },
+            LfsConfig {
+                utilization: 0.3,
+                ..LfsConfig::default()
+            },
         );
         let pricey = write_cost_fixed(
             CAP,
             1024,
             40_000,
-            LfsConfig { utilization: 0.9, ..LfsConfig::default() },
+            LfsConfig {
+                utilization: 0.9,
+                ..LfsConfig::default()
+            },
         );
         assert!(cheap < pricey, "{cheap} !< {pricey}");
     }

@@ -92,8 +92,7 @@ pub fn transfer_inefficiency(
     // its "maximum streaming efficiency" asymptote is pure media time; the
     // transfer-inefficiency metric uses peak bandwidth, i.e. media time
     // only).
-    let ideal = segment_sectors as f64 / spt as f64
-        * disk.spindle().revolution().as_secs_f64();
+    let ideal = segment_sectors as f64 / spt as f64 * disk.spindle().revolution().as_secs_f64();
     actual / ideal
 }
 
@@ -120,7 +119,10 @@ mod tests {
         let small = transfer_inefficiency(&cfg, 64, false, 200, 9);
         let large = transfer_inefficiency(&cfg, 4096, false, 200, 9);
         assert!(small > large, "{small} !> {large}");
-        assert!(small > 5.0, "64-sector segments should be dominated by positioning");
+        assert!(
+            small > 5.0,
+            "64-sector segments should be dominated by positioning"
+        );
     }
 
     #[test]
@@ -136,7 +138,10 @@ mod tests {
                 sectors as f64 * 512.0,
             );
             let ratio = measured / model;
-            assert!((0.75..=1.35).contains(&ratio), "sectors {sectors}: {measured} vs {model}");
+            assert!(
+                (0.75..=1.35).contains(&ratio),
+                "sectors {sectors}: {measured} vs {model}"
+            );
         }
     }
 }

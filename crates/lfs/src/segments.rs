@@ -52,7 +52,11 @@ impl SegmentTable {
         SegmentTable {
             segments: boundaries
                 .iter()
-                .map(|e: Extent| SegmentInfo { start: e.start, len: e.len, live: 0 })
+                .map(|e: Extent| SegmentInfo {
+                    start: e.start,
+                    len: e.len,
+                    live: 0,
+                })
                 .collect(),
         }
     }
@@ -113,7 +117,9 @@ impl SegmentTable {
 
     /// Indexes of completely empty segments.
     pub fn empty_segments(&self) -> Vec<usize> {
-        (0..self.segments.len()).filter(|&i| self.segments[i].live == 0).collect()
+        (0..self.segments.len())
+            .filter(|&i| self.segments[i].live == 0)
+            .collect()
     }
 
     /// The non-empty segment with the lowest utilization (greedy cleaning
@@ -146,7 +152,14 @@ mod tests {
         let tb = TrackBoundaries::from_track_lengths([100, 99, 101]).unwrap();
         let t = SegmentTable::track_matched(&tb);
         assert_eq!(t.len(), 3);
-        assert_eq!(t.get(1), SegmentInfo { start: 100, len: 99, live: 0 });
+        assert_eq!(
+            t.get(1),
+            SegmentInfo {
+                start: 100,
+                len: 99,
+                live: 0
+            }
+        );
     }
 
     #[test]

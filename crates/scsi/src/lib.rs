@@ -162,7 +162,10 @@ impl ScsiDisk {
     pub fn translate_lbn(&mut self, lbn: u64) -> Pba {
         self.counts.translations += 1;
         self.now += self.diag_cost;
-        self.disk.geometry().lbn_to_pba(lbn).expect("translation in range")
+        self.disk
+            .geometry()
+            .lbn_to_pba(lbn)
+            .expect("translation in range")
     }
 
     /// `SEND/RECEIVE DIAGNOSTIC` address translation: physical → LBN.

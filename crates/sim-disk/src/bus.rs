@@ -24,18 +24,27 @@ impl BusConfig {
     /// A conventional in-order bus at `mb_per_sec` × 10⁶ bytes/s.
     pub fn in_order(mb_per_sec: f64) -> Self {
         assert!(mb_per_sec > 0.0, "bus rate must be positive");
-        BusConfig { bytes_per_sec: Some(mb_per_sec * 1e6), out_of_order: false }
+        BusConfig {
+            bytes_per_sec: Some(mb_per_sec * 1e6),
+            out_of_order: false,
+        }
     }
 
     /// An out-of-order bus at `mb_per_sec` × 10⁶ bytes/s.
     pub fn out_of_order(mb_per_sec: f64) -> Self {
         assert!(mb_per_sec > 0.0, "bus rate must be positive");
-        BusConfig { bytes_per_sec: Some(mb_per_sec * 1e6), out_of_order: true }
+        BusConfig {
+            bytes_per_sec: Some(mb_per_sec * 1e6),
+            out_of_order: true,
+        }
     }
 
     /// The infinitely fast bus ("zero bus transfer" in Figure 6).
     pub fn infinite() -> Self {
-        BusConfig { bytes_per_sec: None, out_of_order: false }
+        BusConfig {
+            bytes_per_sec: None,
+            out_of_order: false,
+        }
     }
 
     /// Time to move one sector across the bus.

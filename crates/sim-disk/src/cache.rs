@@ -25,14 +25,20 @@ pub struct CacheConfig {
 
 impl Default for CacheConfig {
     fn default() -> Self {
-        CacheConfig { segments: 10, readahead_to_track_end: true }
+        CacheConfig {
+            segments: 10,
+            readahead_to_track_end: true,
+        }
     }
 }
 
 impl CacheConfig {
     /// A disabled cache.
     pub fn disabled() -> Self {
-        CacheConfig { segments: 0, readahead_to_track_end: false }
+        CacheConfig {
+            segments: 0,
+            readahead_to_track_end: false,
+        }
     }
 }
 
@@ -56,7 +62,12 @@ pub struct SegmentCache {
 impl SegmentCache {
     /// Creates an empty cache.
     pub fn new(config: CacheConfig) -> Self {
-        SegmentCache { config, segments: VecDeque::new(), hits: 0, misses: 0 }
+        SegmentCache {
+            config,
+            segments: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Returns true — and refreshes recency — if `[start, start+len)` is
@@ -66,8 +77,10 @@ impl SegmentCache {
             return false;
         }
         let end = start + len;
-        if let Some(idx) =
-            self.segments.iter().position(|s| s.start <= start && end <= s.end)
+        if let Some(idx) = self
+            .segments
+            .iter()
+            .position(|s| s.start <= start && end <= s.end)
         {
             let seg = self.segments.remove(idx).expect("index valid");
             self.segments.push_back(seg);
@@ -155,7 +168,10 @@ mod tests {
     use super::*;
 
     fn cache(n: usize) -> SegmentCache {
-        SegmentCache::new(CacheConfig { segments: n, readahead_to_track_end: true })
+        SegmentCache::new(CacheConfig {
+            segments: n,
+            readahead_to_track_end: true,
+        })
     }
 
     #[test]

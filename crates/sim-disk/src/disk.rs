@@ -55,6 +55,9 @@ pub struct Disk {
     actuator_free: SimTime,
     bus_free: SimTime,
     last_issue: SimTime,
+    /// Reused per-sector availability buffer (capacity persists across
+    /// requests so the hot path stops allocating).
+    avail_scratch: Vec<SimTime>,
 }
 
 /// One mechanical stop during a request: a track (or a remapped sector's
@@ -80,6 +83,7 @@ impl Disk {
             actuator_free: SimTime::ZERO,
             bus_free: SimTime::ZERO,
             last_issue: SimTime::ZERO,
+            avail_scratch: Vec::new(),
         }
     }
 
@@ -140,10 +144,16 @@ impl Disk {
             req.end(),
             self.config.geometry.capacity_lbns()
         );
-        assert!(issue >= self.last_issue, "commands must be issued in time order");
+        assert!(
+            issue >= self.last_issue,
+            "commands must be issued in time order"
+        );
         self.last_issue = issue;
 
-        let mut breakdown = Breakdown { overhead: self.config.cmd_overhead, ..Breakdown::default() };
+        let mut breakdown = Breakdown {
+            overhead: self.config.cmd_overhead,
+            ..Breakdown::default()
+        };
         let cmd_ready = issue + self.config.cmd_overhead;
 
         match req.op {
@@ -181,7 +191,11 @@ impl Disk {
 
         let visits = self.plan_visits(req.lbn, req.len);
         let pos_start = cmd_ready.max(self.actuator_free);
-        let (media_end, avail) = self.run_visits(&visits, pos_start, None, &mut breakdown);
+        // Availability instants are only consumed by finite-bus delivery
+        // below; skip collecting them otherwise.
+        let want_avail = !self.config.bus.is_infinite();
+        let (media_end, mut avail) =
+            self.run_visits(&visits, pos_start, None, want_avail, &mut breakdown);
         self.actuator_free = media_end;
 
         // Firmware read-ahead: the cache segment extends to the end of the
@@ -202,13 +216,12 @@ impl Disk {
             media_end
         } else {
             let sector = self.config.bus.sector_time();
-            let mut order: Vec<SimTime> = avail;
             if self.config.bus.out_of_order {
-                order.sort_unstable();
+                avail.sort_unstable();
             }
             let mut prev_end = SimTime::ZERO;
             let mut first = true;
-            for a in order {
+            for &a in &avail {
                 let start = if first {
                     first = false;
                     a.max(self.bus_free)
@@ -219,6 +232,7 @@ impl Disk {
             }
             prev_end
         };
+        self.avail_scratch = avail;
         self.bus_free = self.bus_free.max(completion);
         breakdown.bus = completion.saturating_since(media_end);
 
@@ -253,8 +267,14 @@ impl Disk {
 
         let visits = self.plan_visits(req.lbn, req.len);
         let pos_start = cmd_ready.max(self.actuator_free);
-        let (media_end, _) =
-            self.run_visits(&visits, pos_start, Some(all_buffered), &mut breakdown);
+        let (media_end, avail) = self.run_visits(
+            &visits,
+            pos_start,
+            Some(all_buffered),
+            false,
+            &mut breakdown,
+        );
+        self.avail_scratch = avail;
         self.actuator_free = media_end;
 
         Completion {
@@ -290,8 +310,8 @@ impl Disk {
             let tid = geom.track_of_lbn(cur).expect("validated range");
             let t = geom.track(tid.0);
             let mut run_end = end.min(t.end_lbn());
-            if let Some(r) = geom.remapped_lbns().find(|&(l, _)| l >= cur && l < run_end) {
-                run_end = r.0;
+            if let Some(l) = geom.first_remap_in(cur, run_end) {
+                run_end = l;
             }
             let count = (run_end - cur) as u32;
             visits.push(Visit {
@@ -308,18 +328,22 @@ impl Disk {
     /// Runs the mechanism over the visits starting at `start`. For writes,
     /// `data_ready` is when the last sector is buffered; media transfer for
     /// each visit cannot begin before it. Returns the media completion time
-    /// and, for reads, per-sector availability instants in LBN order.
+    /// and, when `want_avail` is set, per-sector availability instants in
+    /// LBN order (in the drive's reusable scratch buffer — the caller hands
+    /// it back via `avail_scratch`).
     fn run_visits(
         &mut self,
         visits: &[Visit],
         start: SimTime,
         data_ready: Option<SimTime>,
+        want_avail: bool,
         breakdown: &mut Breakdown,
     ) -> (SimTime, Vec<SimTime>) {
         let geom = &self.config.geometry;
         let spindle = self.config.spindle;
         let mut t = start;
-        let mut avail = Vec::new();
+        let mut avail = std::mem::take(&mut self.avail_scratch);
+        avail.clear();
         let (mut cur_cyl, mut cur_head) = (self.cur_cyl, self.cur_head);
 
         for (vi, v) in visits.iter().enumerate() {
@@ -388,19 +412,31 @@ impl Disk {
                     let d = frac(s);
                     min_d = min_d.min(d);
                     max_d = max_d.max(d);
-                    avail.push(t + spindle.sweep(d + slot_frac));
+                    if want_avail {
+                        avail.push(t + spindle.sweep(d + slot_frac));
+                    }
                 }
                 let end = t + spindle.sweep(max_d + slot_frac);
-                (end, spindle.sweep(min_d), spindle.sweep(max_d - min_d + slot_frac))
+                (
+                    end,
+                    spindle.sweep(min_d),
+                    spindle.sweep(max_d - min_d + slot_frac),
+                )
             } else {
                 let s0 = v.slots[0];
                 let d0 = frac(s0);
-                for &s in &v.slots {
-                    avail.push(t + spindle.sweep(d0 + f64::from(s - s0 + 1) * slot_frac));
+                if want_avail {
+                    for &s in &v.slots {
+                        avail.push(t + spindle.sweep(d0 + f64::from(s - s0 + 1) * slot_frac));
+                    }
                 }
                 let span = v.slots[v.slots.len() - 1] - s0 + 1;
                 let end = t + spindle.sweep(d0 + f64::from(span) * slot_frac);
-                (end, spindle.sweep(d0), spindle.sweep(f64::from(span) * slot_frac))
+                (
+                    end,
+                    spindle.sweep(d0),
+                    spindle.sweep(f64::from(span) * slot_frac),
+                )
             };
             breakdown.rot_latency += rot;
             breakdown.media += media;
@@ -423,7 +459,12 @@ mod tests {
     fn test_disk(zero_latency: bool, bus: BusConfig) -> Disk {
         let geometry = GeometrySpec::pristine(
             2,
-            vec![ZoneSpec { cylinders: 50, spt: 200, track_skew: 30, cyl_skew: 40 }],
+            vec![ZoneSpec {
+                cylinders: 50,
+                spt: 200,
+                track_skew: 30,
+                cyl_skew: 40,
+            }],
         )
         .build()
         .unwrap();
@@ -463,7 +504,9 @@ mod tests {
         // Simple LCG for think times, to decorrelate the rotational phase.
         let mut state = 0x9e37_79b9u64;
         for i in 0..n {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             // Random-ish starting track; each read is one full track.
             let track = (i * 7) % 99;
             let c = d.service(Request::read(track * 200, 200), t);
@@ -484,8 +527,7 @@ mod tests {
         assert!(!miss.cache_hit);
         let hit = d.service(Request::read(100, 32), miss.completion);
         assert!(hit.cache_hit);
-        let expect = d.config().bus.transfer_time(32 * SECTOR_BYTES)
-            + d.config().cmd_overhead;
+        let expect = d.config().bus.transfer_time(32 * SECTOR_BYTES) + d.config().cmd_overhead;
         assert_eq!(hit.response_time(), expect);
     }
 
@@ -534,7 +576,11 @@ mod tests {
     #[test]
     fn out_of_order_bus_overlaps_transfer() {
         let mk = |ooo: bool| {
-            let bus = if ooo { BusConfig::out_of_order(160.0) } else { BusConfig::in_order(160.0) };
+            let bus = if ooo {
+                BusConfig::out_of_order(160.0)
+            } else {
+                BusConfig::in_order(160.0)
+            };
             let mut d = test_disk(true, bus);
             let mut t = SimTime::ZERO;
             let mut sum = 0.0;
@@ -555,8 +601,9 @@ mod tests {
         // media completions) should be below onereq response time.
         let run = |queued: bool| {
             let mut d = test_disk(true, BusConfig::in_order(40.0)); // slow bus
-            let reqs: Vec<Request> =
-                (0..60).map(|i| Request::read(((17 * i + 5) % 99) * 200, 200)).collect();
+            let reqs: Vec<Request> = (0..60)
+                .map(|i| Request::read(((17 * i + 5) % 99) * 200, 200))
+                .collect();
             let mut completions = Vec::new();
             let mut t = SimTime::ZERO;
             if queued {
@@ -611,13 +658,20 @@ mod tests {
             let mut spec = d.geometry().spec().clone();
             spec.spare = crate::defects::SpareScheme::SectorsPerCylinder(8);
             let geometry = spec.build().unwrap();
-            d = Disk::new(DiskConfig { geometry, ..d.config().clone() });
+            d = Disk::new(DiskConfig {
+                geometry,
+                ..d.config().clone()
+            });
         }
         // Baseline: read 10 sectors.
-        let base = d.service(Request::read(0, 10), SimTime::ZERO).response_time();
+        let base = d
+            .service(Request::read(0, 10), SimTime::ZERO)
+            .response_time();
         d.reset();
         d.geometry_mut().add_grown_defect(5).unwrap();
-        let with_remap = d.service(Request::read(0, 10), SimTime::ZERO).response_time();
+        let with_remap = d
+            .service(Request::read(0, 10), SimTime::ZERO)
+            .response_time();
         assert!(
             with_remap > base + SimDur::from_millis_f64(1.0),
             "remap should cost a mechanical excursion: {with_remap} vs {base}"

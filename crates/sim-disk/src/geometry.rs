@@ -14,6 +14,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 /// Identifier of a track, in LBN order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -61,7 +63,12 @@ impl ZoneSpec {
     /// Creates a zone with the given cylinder count and sectors per track and
     /// zero skew (useful in tests).
     pub fn unskewed(cylinders: u32, spt: u32) -> Self {
-        ZoneSpec { cylinders, spt, track_skew: 0, cyl_skew: 0 }
+        ZoneSpec {
+            cylinders,
+            spt,
+            track_skew: 0,
+            cyl_skew: 0,
+        }
     }
 }
 
@@ -135,6 +142,9 @@ pub struct Track {
     spt: u32,
     /// Angle of physical slot 0, in revolutions, at spindle phase 0.
     angle0: f64,
+    /// `slot_frac[s] = s / spt`, shared across the zone's tracks, so the
+    /// access-on-arrival scan reads slot angles without a division.
+    slot_frac: Arc<[f64]>,
     /// Sorted factory-defective slots on this track.
     defect_slots: Vec<u32>,
     /// Grown-defective slots (remapped after formatting); sorted.
@@ -184,7 +194,15 @@ impl Track {
     /// spindle is at phase 0.
     pub fn slot_angle(&self, slot: u32) -> f64 {
         debug_assert!(slot < self.spt);
-        (self.angle0 + f64::from(slot) / f64::from(self.spt)).fract()
+        // `angle0 + slot/spt` lies in [0,2), where `fract` is exactly a
+        // conditional subtraction — with the division read from the
+        // precomputed table, the result is bit-identical to the direct form.
+        let a = self.angle0 + self.slot_frac[slot as usize];
+        if a >= 1.0 {
+            a - 1.0
+        } else {
+            a
+        }
     }
 
     /// Sorted factory-defective slots.
@@ -251,7 +269,7 @@ impl fmt::Display for GeometryError {
 impl Error for GeometryError {}
 
 /// A fully built disk layout with O(log n) translation in both directions.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DiskGeometry {
     spec: GeometrySpec,
     tracks: Vec<Track>,
@@ -262,6 +280,25 @@ pub struct DiskGeometry {
     /// Remapped LBNs (factory remap policy and grown defects): lbn → spare
     /// location.
     remaps: BTreeMap<u64, Pba>,
+    /// Track returned by the previous `track_of_lbn` call. Sequential and
+    /// streaming access hits this track or the next one almost always,
+    /// skipping the binary search. Relaxed ordering is enough: a stale
+    /// hint is never wrong, merely a missed shortcut.
+    last_track: AtomicU32,
+}
+
+impl Clone for DiskGeometry {
+    fn clone(&self) -> Self {
+        DiskGeometry {
+            spec: self.spec.clone(),
+            tracks: self.tracks.clone(),
+            zones: self.zones.clone(),
+            zone_first_cyl: self.zone_first_cyl.clone(),
+            capacity: self.capacity,
+            remaps: self.remaps.clone(),
+            last_track: AtomicU32::new(self.last_track.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl DiskGeometry {
@@ -312,7 +349,10 @@ impl DiskGeometry {
 
     /// Iterates over all tracks in LBN order.
     pub fn iter_tracks(&self) -> impl Iterator<Item = (TrackId, &Track)> {
-        self.tracks.iter().enumerate().map(|(i, t)| (TrackId(i as u32), t))
+        self.tracks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TrackId(i as u32), t))
     }
 
     /// The track holding `lbn`.
@@ -327,10 +367,28 @@ impl DiskGeometry {
         if lbn >= self.capacity {
             return Err(GeometryError::LbnOutOfRange(lbn));
         }
+        // Fast path: the track found last time, or its successor. Track
+        // ranges are disjoint, so a containment hit is always the same
+        // track the binary search would find.
+        let hint = self.last_track.load(Ordering::Relaxed) as usize;
+        if let Some(t) = self.tracks.get(hint) {
+            if t.first_lbn <= lbn {
+                if lbn < t.end_lbn() {
+                    return Ok(TrackId(hint as u32));
+                }
+                if let Some(n) = self.tracks.get(hint + 1) {
+                    if n.first_lbn <= lbn && lbn < n.end_lbn() {
+                        self.last_track.store((hint + 1) as u32, Ordering::Relaxed);
+                        return Ok(TrackId((hint + 1) as u32));
+                    }
+                }
+            }
+        }
         // partition_point over end_lbn: first track whose end is > lbn.
         let idx = self.tracks.partition_point(|t| t.end_lbn() <= lbn);
         debug_assert!(idx < self.tracks.len());
         debug_assert!(self.tracks[idx].first_lbn <= lbn);
+        self.last_track.store(idx as u32, Ordering::Relaxed);
         Ok(TrackId(idx as u32))
     }
 
@@ -435,12 +493,21 @@ impl DiskGeometry {
         let t = &self.tracks[tid.0 as usize];
         debug_assert!(start >= t.first_lbn && start + u64::from(len) <= t.end_lbn());
         let first_logical = (start - t.first_lbn) as u32;
-        (first_logical..first_logical + len).map(|l| self.slot_of_logical(t, l)).collect()
+        (first_logical..first_logical + len)
+            .map(|l| self.slot_of_logical(t, l))
+            .collect()
     }
 
     /// Whether an LBN has been remapped (factory or grown).
     pub fn is_remapped(&self, lbn: u64) -> bool {
         self.remaps.contains_key(&lbn)
+    }
+
+    /// The smallest remapped LBN in `[start, end)`, if any — an O(log n)
+    /// range probe used by the drive model when splitting requests into
+    /// same-track runs.
+    pub fn first_remap_in(&self, start: u64, end: u64) -> Option<u64> {
+        self.remaps.range(start..end).next().map(|(&l, _)| l)
     }
 
     /// All remapped LBNs and their spare locations.
@@ -466,7 +533,9 @@ impl DiskGeometry {
     /// Returns an error if `lbn` is out of range or no spare slot is free.
     pub fn add_grown_defect(&mut self, lbn: u64) -> Result<Pba, GeometryError> {
         let old = self.lbn_to_pba(lbn)?;
-        let spare = self.find_free_spare_slot().ok_or(GeometryError::NoSpareForGrownDefect(lbn))?;
+        let spare = self
+            .find_free_spare_slot()
+            .ok_or(GeometryError::NoSpareForGrownDefect(lbn))?;
         // Mark the old physical slot defective.
         let tid = (old.cyl * self.spec.surfaces + old.head) as usize;
         let t = &mut self.tracks[tid];
@@ -500,7 +569,10 @@ impl DiskGeometry {
                 DefectPolicy::Remap => t.count,
             };
             for slot in (mapped..t.spt).rev() {
-                let taken = t.remap_targets.binary_search_by_key(&slot, |&(s, _)| s).is_ok();
+                let taken = t
+                    .remap_targets
+                    .binary_search_by_key(&slot, |&(s, _)| s)
+                    .is_ok();
                 if !taken && !t.is_defective_slot(slot) {
                     return Some(Pba::new(t.cyl, t.head, slot));
                 }
@@ -582,8 +654,7 @@ fn build_geometry(spec: GeometrySpec) -> Result<DiskGeometry, GeometryError> {
                     if !(cyl == 0 && head == 0) {
                         // Advance skew: head switch within a cylinder, or
                         // cylinder switch when head wraps to 0.
-                        let skew_slots =
-                            if head == 0 { z.cyl_skew } else { z.track_skew };
+                        let skew_slots = if head == 0 { z.cyl_skew } else { z.track_skew };
                         angle = (angle + f64::from(skew_slots) / f64::from(z.spt)).fract();
                     }
                     metas.push(Meta {
@@ -615,6 +686,17 @@ fn build_geometry(spec: GeometrySpec) -> Result<DiskGeometry, GeometryError> {
         }
     };
 
+    // One slot-fraction table per zone, shared by all its tracks.
+    let zone_fracs: Vec<Arc<[f64]>> = spec
+        .zones
+        .iter()
+        .map(|z| {
+            (0..z.spt)
+                .map(|s| f64::from(s) / f64::from(z.spt))
+                .collect()
+        })
+        .collect();
+
     let mut tracks: Vec<Track> = Vec::with_capacity(total_tracks as usize);
     let mut next_lbn: u64 = 0;
     let mut remaps: BTreeMap<u64, Pba> = BTreeMap::new();
@@ -623,15 +705,20 @@ fn build_geometry(spec: GeometrySpec) -> Result<DiskGeometry, GeometryError> {
     while i < total_tracks as usize {
         let dlen = domain_len(i);
         let dtracks = i..i + dlen;
-        let capacity: u64 =
-            dtracks.clone().map(|t| u64::from(metas[t].spt - metas[t].reserved.min(metas[t].spt))).sum();
+        let capacity: u64 = dtracks
+            .clone()
+            .map(|t| u64::from(metas[t].spt - metas[t].reserved.min(metas[t].spt)))
+            .sum();
 
         match spec.policy {
             DefectPolicy::Slip => {
                 let mut remaining = capacity;
                 for t in dtracks.clone() {
                     let m = &metas[t];
-                    let defs = defects_by_track.get(&(t as u32)).cloned().unwrap_or_default();
+                    let defs = defects_by_track
+                        .get(&(t as u32))
+                        .cloned()
+                        .unwrap_or_default();
                     let avail = u64::from(m.spt) - defs.len() as u64;
                     let take = remaining.min(avail) as u32;
                     remaining -= u64::from(take);
@@ -643,6 +730,7 @@ fn build_geometry(spec: GeometrySpec) -> Result<DiskGeometry, GeometryError> {
                         zone: m.zone,
                         spt: m.spt,
                         angle0: m.angle0,
+                        slot_frac: zone_fracs[m.zone as usize].clone(),
                         defect_slots: defs,
                         grown_slots: Vec::new(),
                         remap_targets: Vec::new(),
@@ -664,7 +752,10 @@ fn build_geometry(spec: GeometrySpec) -> Result<DiskGeometry, GeometryError> {
                 let domain_first = tracks.len();
                 for t in dtracks.clone() {
                     let m = &metas[t];
-                    let defs = defects_by_track.get(&(t as u32)).cloned().unwrap_or_default();
+                    let defs = defects_by_track
+                        .get(&(t as u32))
+                        .cloned()
+                        .unwrap_or_default();
                     let take = remaining.min(u64::from(m.spt)) as u32;
                     remaining -= u64::from(take);
                     for &d in &defs {
@@ -685,6 +776,7 @@ fn build_geometry(spec: GeometrySpec) -> Result<DiskGeometry, GeometryError> {
                         zone: m.zone,
                         spt: m.spt,
                         angle0: m.angle0,
+                        slot_frac: zone_fracs[m.zone as usize].clone(),
                         defect_slots: defs,
                         grown_slots: Vec::new(),
                         remap_targets: Vec::new(),
@@ -735,7 +827,15 @@ fn build_geometry(spec: GeometrySpec) -> Result<DiskGeometry, GeometryError> {
     if next_lbn == 0 {
         return Err(GeometryError::ZeroCapacity);
     }
-    Ok(DiskGeometry { spec, tracks, zones, zone_first_cyl, capacity: next_lbn, remaps })
+    Ok(DiskGeometry {
+        spec,
+        tracks,
+        zones,
+        zone_first_cyl,
+        capacity: next_lbn,
+        remaps,
+        last_track: AtomicU32::new(0),
+    })
 }
 
 #[cfg(test)]
@@ -746,7 +846,12 @@ mod tests {
         // The Figure 2(b) disk: 200 sectors/track, 2 surfaces, skew 20.
         GeometrySpec::pristine(
             2,
-            vec![ZoneSpec { cylinders: 10, spt: 200, track_skew: 20, cyl_skew: 40 }],
+            vec![ZoneSpec {
+                cylinders: 10,
+                spt: 200,
+                track_skew: 20,
+                cyl_skew: 40,
+            }],
         )
     }
 
@@ -797,7 +902,11 @@ mod tests {
         assert!(g.is_remapped(5));
         let pba = g.lbn_to_pba(5).unwrap();
         assert_eq!((pba.cyl, pba.head), (0, 0));
-        assert!(pba.slot >= 198, "remap target should be a spare slot, got {}", pba.slot);
+        assert!(
+            pba.slot >= 198,
+            "remap target should be a spare slot, got {}",
+            pba.slot
+        );
         // Neighbours unaffected.
         assert_eq!(g.lbn_to_pba(4).unwrap(), Pba::new(0, 0, 4));
         assert_eq!(g.lbn_to_pba(6).unwrap(), Pba::new(0, 0, 6));
@@ -840,7 +949,11 @@ mod tests {
         assert_eq!(g.track(0).lbn_count(), 199);
         assert_eq!(g.track(1).lbn_count(), 200);
         let last = g.track(g.num_tracks() - 1);
-        assert_eq!(last.lbn_count(), 1, "one slipped LBN lands on the spare track");
+        assert_eq!(
+            last.lbn_count(),
+            1,
+            "one slipped LBN lands on the spare track"
+        );
         for lbn in 0..g.capacity_lbns() {
             let pba = g.lbn_to_pba(lbn).unwrap();
             assert_eq!(g.pba_to_lbn(pba), Some(lbn), "lbn {lbn}");
@@ -854,7 +967,9 @@ mod tests {
         spec.defects = vec![DefectLocation::new(0, 0, 0), DefectLocation::new(0, 0, 1)];
         assert_eq!(
             spec.build().unwrap_err(),
-            GeometryError::InsufficientSpare { domain_first_track: 0 }
+            GeometryError::InsufficientSpare {
+                domain_first_track: 0
+            }
         );
     }
 
@@ -862,18 +977,28 @@ mod tests {
     fn defect_out_of_range_is_an_error() {
         let mut spec = simple_spec();
         spec.defects = vec![DefectLocation::new(0, 0, 200)];
-        assert!(matches!(spec.build().unwrap_err(), GeometryError::DefectOutOfRange(_)));
+        assert!(matches!(
+            spec.build().unwrap_err(),
+            GeometryError::DefectOutOfRange(_)
+        ));
     }
 
     #[test]
     fn degenerate_specs_are_errors() {
         assert_eq!(
-            GeometrySpec::pristine(0, vec![ZoneSpec::unskewed(1, 10)]).build().unwrap_err(),
+            GeometrySpec::pristine(0, vec![ZoneSpec::unskewed(1, 10)])
+                .build()
+                .unwrap_err(),
             GeometryError::NoSurfaces
         );
-        assert_eq!(GeometrySpec::pristine(1, vec![]).build().unwrap_err(), GeometryError::NoZones);
         assert_eq!(
-            GeometrySpec::pristine(1, vec![ZoneSpec::unskewed(1, 0)]).build().unwrap_err(),
+            GeometrySpec::pristine(1, vec![]).build().unwrap_err(),
+            GeometryError::NoZones
+        );
+        assert_eq!(
+            GeometrySpec::pristine(1, vec![ZoneSpec::unskewed(1, 0)])
+                .build()
+                .unwrap_err(),
             GeometryError::EmptyTrack
         );
     }
@@ -945,8 +1070,55 @@ mod tests {
     fn track_of_lbn_rejects_out_of_range() {
         let g = simple_spec().build().unwrap();
         let cap = g.capacity_lbns();
-        assert!(matches!(g.track_of_lbn(cap), Err(GeometryError::LbnOutOfRange(_))));
+        assert!(matches!(
+            g.track_of_lbn(cap),
+            Err(GeometryError::LbnOutOfRange(_))
+        ));
         assert!(g.track_of_lbn(cap - 1).is_ok());
+    }
+
+    #[test]
+    fn track_hint_agrees_with_binary_search_on_any_pattern() {
+        let g = simple_spec().build().unwrap();
+        // Sequential sweep (exercises the hint/hint+1 fast path), then
+        // jumps that invalidate the hint, then a backwards sweep.
+        let cap = g.capacity_lbns();
+        let pattern = (0..cap)
+            .chain([cap - 1, 0, cap / 2, 1, cap / 2 + 1, cap - 2])
+            .chain((0..cap).rev());
+        for lbn in pattern {
+            let t = g.track(g.track_of_lbn(lbn).unwrap().0);
+            assert!(t.first_lbn() <= lbn && lbn < t.end_lbn(), "lbn {lbn}");
+        }
+    }
+
+    #[test]
+    fn track_hint_skips_empty_spare_tracks() {
+        // Zone spare tracks produce zero-LBN tracks that the hinted fast
+        // path must never return.
+        let mut spec = simple_spec();
+        spec.spare = SpareScheme::TracksAtEnd(2);
+        let g = spec.build().unwrap();
+        for _pass in 0..2 {
+            for lbn in 0..g.capacity_lbns() {
+                let t = g.track(g.track_of_lbn(lbn).unwrap().0);
+                assert!(t.first_lbn() <= lbn && lbn < t.end_lbn(), "lbn {lbn}");
+                assert!(t.lbn_count() > 0, "lbn {lbn} resolved to a spare track");
+            }
+        }
+    }
+
+    #[test]
+    fn first_remap_in_finds_range_minimum() {
+        let mut spec = simple_spec();
+        spec.spare = SpareScheme::SectorsPerTrack(2);
+        spec.policy = DefectPolicy::Remap;
+        spec.defects = vec![DefectLocation::new(0, 0, 5), DefectLocation::new(0, 0, 90)];
+        let g = spec.build().unwrap();
+        assert_eq!(g.first_remap_in(0, 200), Some(5));
+        assert_eq!(g.first_remap_in(6, 200), Some(90));
+        assert_eq!(g.first_remap_in(6, 90), None);
+        assert_eq!(g.first_remap_in(91, g.capacity_lbns()), None);
     }
 
     #[test]

@@ -55,11 +55,15 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 ///
 /// Integer nanoseconds keep event ordering exact and runs reproducible;
 /// physics is computed in `f64` and quantized once.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in integer nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDur(u64);
 
 impl SimTime {
@@ -281,7 +285,10 @@ mod tests {
         let b = SimTime::from_ns(9);
         assert_eq!(a.saturating_since(b), SimDur::ZERO);
         assert_eq!(b.saturating_since(a).as_ns(), 4);
-        assert_eq!(SimDur::from_ns(3).saturating_sub(SimDur::from_ns(7)), SimDur::ZERO);
+        assert_eq!(
+            SimDur::from_ns(3).saturating_sub(SimDur::from_ns(7)),
+            SimDur::ZERO
+        );
     }
 
     #[test]

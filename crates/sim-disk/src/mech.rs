@@ -50,7 +50,12 @@ impl SeekCurve {
             [cmax.sqrt(), cmax, 1.0, full_ms],
         ];
         let sol = solve3(rows).expect("seek calibration system is singular");
-        let curve = SeekCurve { a: sol[0], b: sol[1], c: sol[2], max_dist: cmax };
+        let curve = SeekCurve {
+            a: sol[0],
+            b: sol[1],
+            c: sol[2],
+            max_dist: cmax,
+        };
         // Monotonicity sanity: derivative a/(2√d)+b ≥ 0 on [1, C]. It is
         // enough to check both ends when a and b have opposite signs.
         let deriv = |d: f64| curve.a / (2.0 * d.sqrt()) + curve.b;
@@ -83,7 +88,10 @@ impl SeekCurve {
 fn solve3(mut m: [[f64; 4]; 3]) -> Option<[f64; 3]> {
     for col in 0..3 {
         let pivot = (col..3).max_by(|&i, &j| {
-            m[i][col].abs().partial_cmp(&m[j][col].abs()).expect("non-finite matrix")
+            m[i][col]
+                .abs()
+                .partial_cmp(&m[j][col].abs())
+                .expect("non-finite matrix")
         })?;
         if m[pivot][col].abs() < 1e-12 {
             return None;
@@ -92,8 +100,9 @@ fn solve3(mut m: [[f64; 4]; 3]) -> Option<[f64; 3]> {
         for row in 0..3 {
             if row != col {
                 let f = m[row][col] / m[col][col];
-                for k in col..4 {
-                    m[row][k] -= f * m[col][k];
+                let prow = m[col];
+                for (cell, p) in m[row].iter_mut().zip(&prow).skip(col) {
+                    *cell -= f * p;
                 }
             }
         }
@@ -115,7 +124,9 @@ impl Spindle {
     /// Panics if `rpm` is zero.
     pub fn new(rpm: u32) -> Self {
         assert!(rpm > 0, "rpm must be positive");
-        Spindle { period_ns: (60.0e9 / f64::from(rpm)).round() as u64 }
+        Spindle {
+            period_ns: (60.0e9 / f64::from(rpm)).round() as u64,
+        }
     }
 
     /// One full revolution.
@@ -235,7 +246,10 @@ mod tests {
     #[test]
     fn slot_time_divides_revolution() {
         let s = Spindle::new(10_000);
-        assert_eq!(s.slot_time(528).as_ns(), (6_000_000.0 / 528.0_f64).round() as u64);
+        assert_eq!(
+            s.slot_time(528).as_ns(),
+            (6_000_000.0 / 528.0_f64).round() as u64
+        );
         assert_eq!(s.sweep(1.0), s.revolution());
     }
 }

@@ -198,7 +198,11 @@ impl ModelSheet {
         // linearly from the outer to the inner published count.
         let mut zone_specs = Vec::with_capacity(self.zones as usize);
         let spt_of = |z: u32| -> f64 {
-            let f = if self.zones > 1 { f64::from(z) / f64::from(self.zones - 1) } else { 0.0 };
+            let f = if self.zones > 1 {
+                f64::from(z) / f64::from(self.zones - 1)
+            } else {
+                0.0
+            };
             f64::from(self.spt_outer) + f * (f64::from(self.spt_inner) - f64::from(self.spt_outer))
         };
         let weight_total: f64 = (0..self.zones).map(spt_of).sum();
@@ -210,13 +214,22 @@ impl ModelSheet {
                 ((f64::from(cylinders) * spt_of(z) / weight_total).round() as u32).max(1)
             };
             assigned += cyls;
-            let f = if self.zones > 1 { f64::from(z) / f64::from(self.zones - 1) } else { 0.0 };
+            let f = if self.zones > 1 {
+                f64::from(z) / f64::from(self.zones - 1)
+            } else {
+                0.0
+            };
             let spt = (f64::from(self.spt_outer)
                 + f * (f64::from(self.spt_inner) - f64::from(self.spt_outer)))
             .round() as u32;
             let track_skew = ((self.head_switch_ms / rev_ms) * f64::from(spt)).ceil() as u32 + 2;
             let cyl_skew = ((single / rev_ms) * f64::from(spt)).ceil() as u32 + 2;
-            zone_specs.push(ZoneSpec { cylinders: cyls, spt, track_skew, cyl_skew });
+            zone_specs.push(ZoneSpec {
+                cylinders: cyls,
+                spt,
+                track_skew,
+                cyl_skew,
+            });
         }
 
         let geometry = GeometrySpec::pristine(self.surfaces, zone_specs)
@@ -245,22 +258,38 @@ impl ModelSheet {
 
 /// The Quantum Atlas 10K II — the paper's primary measurement platform.
 pub fn quantum_atlas_10k_ii() -> DiskConfig {
-    table1_sheets().into_iter().find(|s| s.name == "Quantum Atlas 10K II").unwrap().build()
+    table1_sheets()
+        .into_iter()
+        .find(|s| s.name == "Quantum Atlas 10K II")
+        .unwrap()
+        .build()
 }
 
 /// The Quantum Atlas 10K — the FFS experiment platform.
 pub fn quantum_atlas_10k() -> DiskConfig {
-    table1_sheets().into_iter().find(|s| s.name == "Quantum Atlas 10K").unwrap().build()
+    table1_sheets()
+        .into_iter()
+        .find(|s| s.name == "Quantum Atlas 10K")
+        .unwrap()
+        .build()
 }
 
 /// The Seagate Cheetah X15 (no zero-latency support).
 pub fn seagate_cheetah_x15() -> DiskConfig {
-    table1_sheets().into_iter().find(|s| s.name == "Seagate Cheetah X15").unwrap().build()
+    table1_sheets()
+        .into_iter()
+        .find(|s| s.name == "Seagate Cheetah X15")
+        .unwrap()
+        .build()
 }
 
 /// The IBM Ultrastar 18 ES (no zero-latency support).
 pub fn ibm_ultrastar_18es() -> DiskConfig {
-    table1_sheets().into_iter().find(|s| s.name == "IBM Ultrastar 18 ES").unwrap().build()
+    table1_sheets()
+        .into_iter()
+        .find(|s| s.name == "IBM Ultrastar 18 ES")
+        .unwrap()
+        .build()
 }
 
 /// A small fast-to-build drive for unit and property tests: 2 zones,
@@ -270,8 +299,18 @@ pub fn small_test_disk() -> DiskConfig {
     let geometry = GeometrySpec::pristine(
         4,
         vec![
-            ZoneSpec { cylinders: 60, spt: 200, track_skew: 30, cyl_skew: 36 },
-            ZoneSpec { cylinders: 60, spt: 150, track_skew: 23, cyl_skew: 27 },
+            ZoneSpec {
+                cylinders: 60,
+                spt: 200,
+                track_skew: 30,
+                cyl_skew: 36,
+            },
+            ZoneSpec {
+                cylinders: 60,
+                spt: 150,
+                track_skew: 23,
+                cyl_skew: 27,
+            },
         ],
     )
     .build()
@@ -310,12 +349,19 @@ pub fn with_factory_defects(
     spec.spare = spare;
     spec.policy = policy;
     spec.defects = random_defects(&spec, rate_per_million, seed);
-    DiskConfig { geometry: spec.build().expect("defected geometry is valid"), ..config }
+    DiskConfig {
+        geometry: spec.build().expect("defected geometry is valid"),
+        ..config
+    }
 }
 
 /// Generates a deterministic defect list at roughly `rate_per_million`
 /// defective sectors per million, uniformly over the media.
-pub fn random_defects(spec: &GeometrySpec, rate_per_million: u32, seed: u64) -> Vec<DefectLocation> {
+pub fn random_defects(
+    spec: &GeometrySpec,
+    rate_per_million: u32,
+    seed: u64,
+) -> Vec<DefectLocation> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut defects = Vec::new();
     let mut cyl0 = 0u32;
@@ -347,12 +393,24 @@ mod tests {
         for sheet in table1_sheets() {
             let cfg = sheet.build();
             assert!(cfg.geometry.capacity_lbns() > 0, "{}", sheet.name);
-            assert_eq!(cfg.geometry.num_tracks() / sheet.surfaces * sheet.surfaces,
-                cfg.geometry.num_tracks());
+            assert_eq!(
+                cfg.geometry.num_tracks() / sheet.surfaces * sheet.surfaces,
+                cfg.geometry.num_tracks()
+            );
             // Outer zone matches the published sectors-per-track.
-            assert_eq!(cfg.geometry.zones()[0].spt, sheet.spt_outer, "{}", sheet.name);
+            assert_eq!(
+                cfg.geometry.zones()[0].spt,
+                sheet.spt_outer,
+                "{}",
+                sheet.name
+            );
             let last = cfg.geometry.zones().len() - 1;
-            assert_eq!(cfg.geometry.zones()[last].spt, sheet.spt_inner, "{}", sheet.name);
+            assert_eq!(
+                cfg.geometry.zones()[last].spt,
+                sheet.spt_inner,
+                "{}",
+                sheet.name
+            );
         }
     }
 
@@ -361,7 +419,10 @@ mod tests {
         let cfg = quantum_atlas_10k_ii();
         let track = cfg.geometry.track(0);
         assert_eq!(track.lbn_count(), 528);
-        assert_eq!(u64::from(track.lbn_count()) * crate::SECTOR_BYTES, 264 * 1024); // 264 KB
+        assert_eq!(
+            u64::from(track.lbn_count()) * crate::SECTOR_BYTES,
+            264 * 1024
+        ); // 264 KB
     }
 
     #[test]
@@ -390,7 +451,10 @@ mod tests {
         let per_track_ms =
             cfg.spindle.revolution().as_millis_f64() + cfg.head_switch.as_millis_f64();
         let mb_s = track_bytes / 1e6 / (per_track_ms / 1e3);
-        assert!((38.0..=43.0).contains(&mb_s), "streaming bandwidth {mb_s} MB/s");
+        assert!(
+            (38.0..=43.0).contains(&mb_s),
+            "streaming bandwidth {mb_s} MB/s"
+        );
     }
 
     #[test]

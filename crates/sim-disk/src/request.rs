@@ -166,8 +166,10 @@ mod tests {
 
     #[test]
     fn efficiency_is_media_fraction() {
-        let mut b = Breakdown::default();
-        b.media = SimDur::from_millis_f64(6.0);
+        let b = Breakdown {
+            media: SimDur::from_millis_f64(6.0),
+            ..Breakdown::default()
+        };
         let c = Completion {
             request: Request::read(0, 1),
             issue: SimTime::ZERO,

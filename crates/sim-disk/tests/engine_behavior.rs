@@ -9,7 +9,11 @@ use sim_disk::{SimDur, SimTime};
 
 fn atlas(bus: BusConfig, zero_latency: bool) -> Disk {
     let base = models::quantum_atlas_10k_ii();
-    Disk::new(DiskConfig { bus, zero_latency, ..base })
+    Disk::new(DiskConfig {
+        bus,
+        zero_latency,
+        ..base
+    })
 }
 
 /// Time never runs backwards: completions are ordered with issues, and the

@@ -25,7 +25,13 @@ fn arb_spec() -> impl Strategy<Value = GeometrySpec> {
         Just(SpareScheme::TracksAtEnd(3)),
     ];
     let policy = prop_oneof![Just(DefectPolicy::Slip), Just(DefectPolicy::Remap)];
-    (1u32..5, zones, scheme, policy, prop::collection::vec((0u32..1000, 0u32..5, 0u32..120), 0..6))
+    (
+        1u32..5,
+        zones,
+        scheme,
+        policy,
+        prop::collection::vec((0u32..1000, 0u32..5, 0u32..120), 0..6),
+    )
         .prop_map(|(surfaces, zones, spare, policy, raw_defects)| {
             let total_cyls: u32 = zones.iter().map(|z| z.cylinders).sum();
             let defects = raw_defects
@@ -45,7 +51,13 @@ fn arb_spec() -> impl Strategy<Value = GeometrySpec> {
                     DefectLocation::new(cyl, h % surfaces, s % spt)
                 })
                 .collect();
-            GeometrySpec { surfaces, zones, spare, policy, defects }
+            GeometrySpec {
+                surfaces,
+                zones,
+                spare,
+                policy,
+                defects,
+            }
         })
 }
 

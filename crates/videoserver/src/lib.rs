@@ -178,7 +178,8 @@ pub mod soft {
                 server.quantile,
                 server.seed,
             );
-            let playback = SimDur::from_secs_f64(io as f64 * 512.0 * 8.0 / (server.bit_rate_mbps * 1e6));
+            let playback =
+                SimDur::from_secs_f64(io as f64 * 512.0 * 8.0 / (server.bit_rate_mbps * 1e6));
             if m.quantile_round <= playback {
                 return Some(OperatingPoint {
                     streams_per_disk: v,
@@ -218,7 +219,7 @@ pub mod soft {
             );
             if m.quantile_round <= round_cap && m.quantile_round <= playback {
                 best = v;
-                v += if v % 8 == 0 { 1 } else { 1 };
+                v += 1;
             } else {
                 break;
             }
@@ -238,7 +239,12 @@ pub mod hard {
     /// `seek(cylinders / v)`. Unaligned requests add a full revolution of
     /// rotational latency and one head switch per track crossed; aligned
     /// requests pay neither (zero-latency firmware, whole-track transfers).
-    pub fn worst_case_request(disk: &DiskConfig, v: usize, io_sectors: u64, aligned: bool) -> SimDur {
+    pub fn worst_case_request(
+        disk: &DiskConfig,
+        v: usize,
+        io_sectors: u64,
+        aligned: bool,
+    ) -> SimDur {
         assert!(v > 0);
         let cyls = disk.geometry.cylinders();
         let seek = disk.seek.seek_time((cyls as f64 / v as f64).ceil() as u32);
@@ -258,7 +264,12 @@ pub mod hard {
 
     /// Maximum streams per disk under hard guarantees: the largest `v` with
     /// `v × worst_case_request ≤ playback duration of one interval`.
-    pub fn max_streams(disk: &DiskConfig, bit_rate_mbps: f64, io_sectors: u64, aligned: bool) -> usize {
+    pub fn max_streams(
+        disk: &DiskConfig,
+        bit_rate_mbps: f64,
+        io_sectors: u64,
+        aligned: bool,
+    ) -> usize {
         let playback = io_sectors as f64 * 512.0 * 8.0 / (bit_rate_mbps * 1e6);
         let mut v = 0;
         loop {
@@ -284,7 +295,12 @@ mod tests {
         let io = cfg.geometry.track(0).lbn_count() as u64;
         let a = measure_rounds(&cfg, 20, io, true, 60, 0.99, 1);
         let u = measure_rounds(&cfg, 20, io, false, 60, 0.99, 1);
-        assert!(a.mean_round < u.mean_round, "{} !< {}", a.mean_round, u.mean_round);
+        assert!(
+            a.mean_round < u.mean_round,
+            "{} !< {}",
+            a.mean_round,
+            u.mean_round
+        );
         assert!(a.quantile_round >= a.mean_round);
     }
 
@@ -317,8 +333,18 @@ mod tests {
         // At a 0.5 s round cap with track-sized I/Os the aligned server
         // supports many more streams (paper: 70 vs 45).
         let cfg = models::quantum_atlas_10k_ii();
-        let server_a = ServerConfig { rounds: 60, quantile: 0.98, aligned: true, ..Default::default() };
-        let server_u = ServerConfig { rounds: 60, quantile: 0.98, aligned: false, ..Default::default() };
+        let server_a = ServerConfig {
+            rounds: 60,
+            quantile: 0.98,
+            aligned: true,
+            ..Default::default()
+        };
+        let server_u = ServerConfig {
+            rounds: 60,
+            quantile: 0.98,
+            aligned: false,
+            ..Default::default()
+        };
         let io = 528;
         let cap = SimDur::from_secs_f64(0.5);
         let a = soft::max_streams_at_round(&cfg, &server_a, io, cap);
@@ -331,7 +357,11 @@ mod tests {
     #[test]
     fn operating_point_latency_grows_with_streams() {
         let cfg = models::quantum_atlas_10k_ii();
-        let server = ServerConfig { rounds: 40, quantile: 0.95, ..Default::default() };
+        let server = ServerConfig {
+            rounds: 40,
+            quantile: 0.95,
+            ..Default::default()
+        };
         let low = soft::operating_point(&cfg, &server, 20).expect("feasible");
         let high = soft::operating_point(&cfg, &server, 60).expect("feasible");
         assert!(high.startup_latency > low.startup_latency);

@@ -167,7 +167,8 @@ pub fn ssh_build(fs: &mut FileSystem, seed: u64) -> AppResult {
         for &(f, size) in &sources {
             fs.read(f, 0, size).expect("in range");
             let obj = fs.create();
-            fs.write(obj, 0, (size * 3 / 5).max(1024)).expect("space available");
+            fs.write(obj, 0, (size * 3 / 5).max(1024))
+                .expect("space available");
         }
     });
     result_of(fs, elapsed)

@@ -69,7 +69,10 @@ impl RandomIoSpec {
 
     /// Same, for writes.
     pub fn writes(io_sectors: u64, alignment: Alignment, queue: QueueDepth) -> Self {
-        RandomIoSpec { op: Op::Write, ..Self::reads(io_sectors, alignment, queue) }
+        RandomIoSpec {
+            op: Op::Write,
+            ..Self::reads(io_sectors, alignment, queue)
+        }
     }
 }
 
@@ -123,7 +126,11 @@ impl RandomIoResult {
     /// Mean response time.
     pub fn mean_response(&self) -> SimDur {
         let ms = stats::mean(
-            &self.completions.iter().map(|c| c.response_time().as_millis_f64()).collect::<Vec<_>>(),
+            &self
+                .completions
+                .iter()
+                .map(|c| c.response_time().as_millis_f64())
+                .collect::<Vec<_>>(),
         );
         SimDur::from_millis_f64(ms)
     }
@@ -131,13 +138,23 @@ impl RandomIoResult {
     /// Standard deviation of response time, ms.
     pub fn response_std_dev_ms(&self) -> f64 {
         stats::std_dev(
-            &self.completions.iter().map(|c| c.response_time().as_millis_f64()).collect::<Vec<_>>(),
+            &self
+                .completions
+                .iter()
+                .map(|c| c.response_time().as_millis_f64())
+                .collect::<Vec<_>>(),
         )
     }
 
     /// Mean of a breakdown component, ms, selected by `f`.
     pub fn mean_component_ms(&self, f: impl Fn(&Completion) -> SimDur) -> f64 {
-        stats::mean(&self.completions.iter().map(|c| f(c).as_millis_f64()).collect::<Vec<_>>())
+        stats::mean(
+            &self
+                .completions
+                .iter()
+                .map(|c| f(c).as_millis_f64())
+                .collect::<Vec<_>>(),
+        )
     }
 }
 
@@ -189,7 +206,10 @@ pub fn run_random_io(disk: &mut Disk, spec: &RandomIoSpec) -> RandomIoResult {
             }
         };
         let issue = match spec.queue {
-            QueueDepth::One => completions.last().map(|c| c.completion).unwrap_or(SimTime::ZERO),
+            QueueDepth::One => completions
+                .last()
+                .map(|c| c.completion)
+                .unwrap_or(SimTime::ZERO),
             QueueDepth::Two => {
                 if i < 2 {
                     SimTime::ZERO
@@ -205,7 +225,10 @@ pub fn run_random_io(disk: &mut Disk, spec: &RandomIoSpec) -> RandomIoResult {
     let ideal_media = disk
         .spindle()
         .sweep(spec.io_sectors as f64 / f64::from(spt));
-    RandomIoResult { completions, ideal_media }
+    RandomIoResult {
+        completions,
+        ideal_media,
+    }
 }
 
 /// Convenience: the four curves of Figure 6 at one request size, returning
@@ -213,8 +236,10 @@ pub fn run_random_io(disk: &mut Disk, spec: &RandomIoSpec) -> RandomIoResult {
 /// tworeq_unaligned, tworeq_aligned)`.
 pub fn head_times_at(disk: &mut Disk, io_sectors: u64) -> (f64, f64, f64, f64) {
     let mut run = |alignment, queue| {
-        let spec =
-            RandomIoSpec { count: 2000, ..RandomIoSpec::reads(io_sectors, alignment, queue) };
+        let spec = RandomIoSpec {
+            count: 2000,
+            ..RandomIoSpec::reads(io_sectors, alignment, queue)
+        };
         let r = run_random_io(disk, &spec);
         r.mean_head_time(queue).as_millis_f64()
     };
@@ -246,7 +271,10 @@ mod tests {
         };
         let r = run_random_io(&mut d, &spec);
         let eff = r.efficiency(QueueDepth::Two);
-        assert!((0.66..=0.80).contains(&eff), "track-aligned tworeq efficiency {eff}");
+        assert!(
+            (0.66..=0.80).contains(&eff),
+            "track-aligned tworeq efficiency {eff}"
+        );
     }
 
     #[test]
@@ -258,7 +286,10 @@ mod tests {
         };
         let r = run_random_io(&mut d, &spec);
         let eff = r.efficiency(QueueDepth::Two);
-        assert!((0.42..=0.60).contains(&eff), "unaligned tworeq efficiency {eff}");
+        assert!(
+            (0.42..=0.60).contains(&eff),
+            "unaligned tworeq efficiency {eff}"
+        );
     }
 
     #[test]
@@ -335,7 +366,10 @@ mod tests {
         let ha = aligned.mean_head_time(QueueDepth::One).as_millis_f64();
         let hu = unaligned.mean_head_time(QueueDepth::One).as_millis_f64();
         assert!((8.5..=11.0).contains(&ha), "aligned write head time {ha}");
-        assert!((12.0..=15.0).contains(&hu), "unaligned write head time {hu}");
+        assert!(
+            (12.0..=15.0).contains(&hu),
+            "unaligned write head time {hu}"
+        );
     }
 
     #[test]
@@ -354,7 +388,10 @@ mod tests {
     #[should_panic(expected = "zone")]
     fn bad_zone_panics() {
         let mut d = atlas();
-        let spec = RandomIoSpec { zone: 99, ..RandomIoSpec::reads(1, Alignment::Unaligned, QueueDepth::One) };
+        let spec = RandomIoSpec {
+            zone: 99,
+            ..RandomIoSpec::reads(1, Alignment::Unaligned, QueueDepth::One)
+        };
         let _ = run_random_io(&mut d, &spec);
     }
 }

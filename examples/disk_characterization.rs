@@ -26,8 +26,14 @@ fn main() {
     let r = extract_scsi(&mut s);
     println!("SCSI-specific extraction:");
     println!("  surfaces: {}", r.surfaces);
-    println!("  zones: {:?}", r.zones.iter().map(|z| z.spt).collect::<Vec<_>>());
-    println!("  spare scheme: {:?}, defect policy: {:?}", r.scheme, r.policy);
+    println!(
+        "  zones: {:?}",
+        r.zones.iter().map(|z| z.spt).collect::<Vec<_>>()
+    );
+    println!(
+        "  spare scheme: {:?}, defect policy: {:?}",
+        r.scheme, r.policy
+    );
     println!(
         "  {} tracks at {:.2} translations/track, {:.1} s of bus time",
         r.boundaries.num_tracks(),
@@ -38,7 +44,13 @@ fn main() {
     // The general timing-based algorithm sees the same boundaries without
     // any diagnostic commands.
     let mut s = ScsiDisk::new(make());
-    let g = extract_general(&mut s, &GeneralConfig { contexts: 24, ..GeneralConfig::default() });
+    let g = extract_general(
+        &mut s,
+        &GeneralConfig {
+            contexts: 24,
+            ..GeneralConfig::default()
+        },
+    );
     println!("general (timing-only) extraction:");
     println!(
         "  {} tracks at {:.1} probes/track, {:.1} s of disk time",
@@ -48,6 +60,10 @@ fn main() {
     );
     println!(
         "  agreement with the SCSI result: {}",
-        if g.boundaries == r.boundaries { "exact" } else { "differs" }
+        if g.boundaries == r.boundaries {
+            "exact"
+        } else {
+            "differs"
+        }
     );
 }

@@ -13,8 +13,11 @@ const MB: u64 = 1 << 20;
 
 fn main() {
     println!("workload            unmodified   fast-start    traxtent");
-    let personalities =
-        [Personality::Unmodified, Personality::FastStart, Personality::Traxtent];
+    let personalities = [
+        Personality::Unmodified,
+        Personality::FastStart,
+        Personality::Traxtent,
+    ];
 
     let line = |name: &str, f: &dyn Fn(&mut FileSystem) -> f64| {
         let mut cols = format!("{name:<18}");
@@ -25,16 +28,27 @@ fn main() {
         println!("{cols}");
     };
 
-    line("256 MB scan", &|fs| apps::scan(fs, 256 * MB, 64 * 1024).elapsed.as_secs_f64());
-    line("2x128 MB diff", &|fs| apps::diff(fs, 128 * MB, 64 * 1024).elapsed.as_secs_f64());
-    line("256 MB copy", &|fs| apps::copy(fs, 256 * MB, 64 * 1024).elapsed.as_secs_f64());
+    line("256 MB scan", &|fs| {
+        apps::scan(fs, 256 * MB, 64 * 1024).elapsed.as_secs_f64()
+    });
+    line("2x128 MB diff", &|fs| {
+        apps::diff(fs, 128 * MB, 64 * 1024).elapsed.as_secs_f64()
+    });
+    line("256 MB copy", &|fs| {
+        apps::copy(fs, 256 * MB, 64 * 1024).elapsed.as_secs_f64()
+    });
     line("postmark 600tx", &|fs| {
         let (r, _) = apps::postmark(fs, 150, 600, 7);
         r.elapsed.as_secs_f64()
     });
-    line("head* 300 files", &|fs| apps::head_star(fs, 300, 200 * 1024).elapsed.as_secs_f64());
+    line("head* 300 files", &|fs| {
+        apps::head_star(fs, 300, 200 * 1024).elapsed.as_secs_f64()
+    });
 
-    let fs = FileSystem::format(Disk::new(models::quantum_atlas_10k()), Personality::Traxtent);
+    let fs = FileSystem::format(
+        Disk::new(models::quantum_atlas_10k()),
+        Personality::Traxtent,
+    );
     println!(
         "\ntraxtent layout excludes {:.1}% of blocks (paper: ~5% on the Atlas 10K)",
         100.0 * fs.layout().excluded_fraction()

@@ -26,9 +26,16 @@ fn main() {
         if owc < best.1 {
             best = (sectors, owc);
         }
-        println!("{:>6} KB  {wc:>8.2}  {ti:>8.2}  {owc:>6.2}", sectors * 512 / 1024);
+        println!(
+            "{:>6} KB  {wc:>8.2}  {ti:>8.2}  {owc:>6.2}",
+            sectors * 512 / 1024
+        );
     }
-    println!("best segment size: {} KB (track = {} KB)", best.0 * 512 / 1024, track * 512 / 1024);
+    println!(
+        "best segment size: {} KB (track = {} KB)",
+        best.0 * 512 / 1024,
+        track * 512 / 1024
+    );
 
     // Variable segments that exactly match the (varying) track sizes.
     let boundaries = TrackBoundaries::new(

@@ -28,7 +28,10 @@ fn main() {
     // arbitrary location is split so no piece crosses a track.
     let planner = RequestPlanner::new(extraction.boundaries.clone());
     let pieces = planner.split(traxtent::Extent::new(1_000_000, 512));
-    println!("256 KB at LBN 1000000 becomes {} track-local request(s):", pieces.len());
+    println!(
+        "256 KB at LBN 1000000 becomes {} track-local request(s):",
+        pieces.len()
+    );
     for p in &pieces {
         println!("  {p}");
     }
@@ -38,8 +41,10 @@ fn main() {
     disk.reset();
     let track = extraction.boundaries.track_extent(1000);
     let aligned = disk.service(Request::read(track.start, track.len), SimTime::ZERO);
-    let unaligned =
-        disk.service(Request::read(track.start + track.len / 2, track.len), aligned.completion);
+    let unaligned = disk.service(
+        Request::read(track.start + track.len / 2, track.len),
+        aligned.completion,
+    );
     println!(
         "track-sized read: aligned {:.2} ms vs unaligned {:.2} ms",
         aligned.response_time().as_millis_f64(),

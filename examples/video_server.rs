@@ -23,7 +23,12 @@ fn main() {
     }
 
     // Soft real-time: measured round-time distributions.
-    let mk = |aligned| ServerConfig { aligned, rounds: 120, quantile: 0.99, ..Default::default() };
+    let mk = |aligned| ServerConfig {
+        aligned,
+        rounds: 120,
+        quantile: 0.99,
+        ..Default::default()
+    };
     let cap = SimDur::from_secs_f64(0.5);
     println!(
         "soft real-time at a 0.5 s round (track-sized I/Os): {} aligned vs {} unaligned \

@@ -45,16 +45,26 @@ fn extract_then_allocate_then_plan() {
     assert_eq!(scsi_result.boundaries, truth);
 
     let mut s = ScsiDisk::new(Disk::new(cfg));
-    let general =
-        extract_general(&mut s, &GeneralConfig { contexts: 16, ..GeneralConfig::default() });
+    let general = extract_general(
+        &mut s,
+        &GeneralConfig {
+            contexts: 16,
+            ..GeneralConfig::default()
+        },
+    );
     assert_eq!(general.boundaries, truth);
 
     // Allocate mid-size extents and plan requests: nothing crosses a track.
     let mut alloc = TraxtentAllocator::new(scsi_result.boundaries.clone());
     let planner = RequestPlanner::new(scsi_result.boundaries);
     for i in 0..50 {
-        let e = alloc.alloc_within_track(64, i * 1009).expect("space available");
-        assert!(planner.is_track_local(e.start, e.len), "{e} crosses a track");
+        let e = alloc
+            .alloc_within_track(64, i * 1009)
+            .expect("space available");
+        assert!(
+            planner.is_track_local(e.start, e.len),
+            "{e} crosses a track"
+        );
     }
 }
 
@@ -64,8 +74,10 @@ fn extract_then_allocate_then_plan() {
 fn aligned_access_wins_at_track_size() {
     let mut disk = Disk::new(models::quantum_atlas_10k_ii());
     let run = |disk: &mut Disk, alignment| {
-        let spec =
-            RandomIoSpec { count: 800, ..RandomIoSpec::reads(528, alignment, QueueDepth::Two) };
+        let spec = RandomIoSpec {
+            count: 800,
+            ..RandomIoSpec::reads(528, alignment, QueueDepth::Two)
+        };
         run_random_io(disk, &spec).efficiency(QueueDepth::Two)
     };
     let aligned = run(&mut disk, Alignment::TrackAligned);
@@ -84,9 +96,13 @@ fn non_zero_latency_disks_gain_little() {
     let mut disk = Disk::new(models::seagate_cheetah_x15());
     let spt = disk.geometry().track(0).lbn_count() as u64;
     let run = |disk: &mut Disk, alignment| {
-        let spec =
-            RandomIoSpec { count: 600, ..RandomIoSpec::reads(spt, alignment, QueueDepth::One) };
-        run_random_io(disk, &spec).mean_head_time(QueueDepth::One).as_millis_f64()
+        let spec = RandomIoSpec {
+            count: 600,
+            ..RandomIoSpec::reads(spt, alignment, QueueDepth::One)
+        };
+        run_random_io(disk, &spec)
+            .mean_head_time(QueueDepth::One)
+            .as_millis_f64()
     };
     let aligned = run(&mut disk, Alignment::TrackAligned);
     let unaligned = run(&mut disk, Alignment::Unaligned);
@@ -107,7 +123,10 @@ fn ffs_personalities_match_table2_directions() {
     let scan_u = apps::scan(&mut fresh(Personality::Unmodified), 64 * MB, 64 * 1024);
     let scan_t = apps::scan(&mut fresh(Personality::Traxtent), 64 * MB, 64 * 1024);
     let scan_ratio = scan_t.elapsed.as_secs_f64() / scan_u.elapsed.as_secs_f64();
-    assert!((1.0..=1.12).contains(&scan_ratio), "scan ratio {scan_ratio}");
+    assert!(
+        (1.0..=1.12).contains(&scan_ratio),
+        "scan ratio {scan_ratio}"
+    );
 
     let diff_u = apps::diff(&mut fresh(Personality::Unmodified), 32 * MB, 64 * 1024);
     let diff_t = apps::diff(&mut fresh(Personality::Traxtent), 32 * MB, 64 * 1024);
@@ -134,7 +153,9 @@ fn grown_defect_changes_little() {
         5,
     ));
     let before = ground_truth(&disk);
-    disk.geometry_mut().add_grown_defect(12_345).expect("spare available");
+    disk.geometry_mut()
+        .add_grown_defect(12_345)
+        .expect("spare available");
     let after = ground_truth(&disk);
     // Slip-mapped boundaries are untouched by a remap-style grown defect.
     assert_eq!(before, after);
@@ -149,12 +170,8 @@ fn lfs_prefers_track_sized_aligned_segments() {
     let ti_aligned = lfs::transfer_inefficiency(&cfg, track, true, 150, 1);
     let ti_unaligned = lfs::transfer_inefficiency(&cfg, track, false, 150, 1);
     assert!(ti_aligned < ti_unaligned);
-    let wc = lfs::cleaner::write_cost_fixed(
-        1 << 16,
-        track,
-        1 << 17,
-        lfs::cleaner::LfsConfig::default(),
-    );
+    let wc =
+        lfs::cleaner::write_cost_fixed(1 << 16, track, 1 << 17, lfs::cleaner::LfsConfig::default());
     assert!(wc >= 1.0);
     assert!(wc * ti_aligned < wc * ti_unaligned);
 }

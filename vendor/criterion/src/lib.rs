@@ -1,0 +1,202 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Supports the subset the workspace's benches use: `Criterion`,
+//! `bench_function`, `Bencher::iter` / `iter_batched`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is a simple
+//! calibrated median: each routine is auto-batched until a batch takes long
+//! enough to time reliably, then the median ns/iteration over a fixed number
+//! of batches is reported on stdout.
+//!
+//! When the `CRITERION_JSON` environment variable names a file, one JSON
+//! line per benchmark (`{"name": ..., "median_ns": ...}`) is appended to it
+//! so external tooling (e.g. the BENCH_hotpaths.json generator) can consume
+//! results without parsing human output.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup cost. The stub times the routine in
+/// per-iteration batches regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Collects timing samples for one benchmark routine.
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+}
+
+const SAMPLES: usize = 15;
+const MIN_BATCH: Duration = Duration::from_millis(5);
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            samples_ns: Vec::new(),
+        }
+    }
+
+    /// Times `routine` in calibrated batches.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Calibrate: grow the batch until it runs long enough to time.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MIN_BATCH || batch >= 1 << 30 {
+                break;
+            }
+            batch = if elapsed.is_zero() {
+                batch * 16
+            } else {
+                // Aim slightly past MIN_BATCH to converge in one step.
+                (batch * 2).max(
+                    (batch as f64 * 1.2 * MIN_BATCH.as_secs_f64() / elapsed.as_secs_f64()) as u64,
+                )
+            };
+        }
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples_ns
+                .push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded
+    /// by timing each call individually.
+    pub fn iter_batched<S, R, FS, F>(&mut self, mut setup: FS, mut routine: F, _size: BatchSize)
+    where
+        FS: FnMut() -> S,
+        F: FnMut(S) -> R,
+    {
+        // Calibrate the per-call cost first so short routines still get a
+        // stable median: time `reps` separate setup+routine pairs per sample,
+        // accumulating only the routine's time.
+        let mut reps = 1u64;
+        loop {
+            let mut spent = Duration::ZERO;
+            for _ in 0..reps {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                spent += start.elapsed();
+            }
+            if spent >= MIN_BATCH || reps >= 1 << 24 {
+                break;
+            }
+            reps = if spent.is_zero() {
+                reps * 16
+            } else {
+                (reps * 2)
+                    .max((reps as f64 * 1.2 * MIN_BATCH.as_secs_f64() / spent.as_secs_f64()) as u64)
+            };
+        }
+        for _ in 0..SAMPLES {
+            let mut spent = Duration::ZERO;
+            for _ in 0..reps {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                spent += start.elapsed();
+            }
+            self.samples_ns.push(spent.as_nanos() as f64 / reps as f64);
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        let mut s = self.samples_ns.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if s.is_empty() {
+            return 0.0;
+        }
+        let mid = s.len() / 2;
+        if s.len().is_multiple_of(2) {
+            (s[mid - 1] + s[mid]) / 2.0
+        } else {
+            s[mid]
+        }
+    }
+}
+
+/// Benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {
+    json_path: Option<String>,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    pub fn new() -> Self {
+        Criterion {
+            json_path: std::env::var("CRITERION_JSON").ok(),
+            filter: None,
+        }
+    }
+
+    /// Restricts runs to benchmark names containing `filter`.
+    pub fn with_filter(mut self, filter: impl Into<String>) -> Self {
+        self.filter = Some(filter.into());
+        self
+    }
+
+    /// Runs one named benchmark immediately and prints its median.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher::new();
+        f(&mut b);
+        let median = b.median_ns();
+        println!("{name:<40} median {median:>12.1} ns/iter");
+        if let Some(path) = &self.json_path {
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(file, "{{\"name\": \"{name}\", \"median_ns\": {median:.1}}}");
+            }
+        }
+        self
+    }
+}
+
+/// Builds a group runner function from benchmark functions, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            // `cargo bench -- <filter>`: first non-flag argument filters by name.
+            if let Some(filter) = std::env::args().skip(1).find(|a| !a.starts_with('-')) {
+                criterion = criterion.with_filter(filter);
+            }
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point invoking each group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,26 @@
+//! Offline vendored stand-in for `crossbeam`.
+//!
+//! The executor layer only needs scoped threads. Since Rust 1.63 the
+//! standard library provides them natively, so this shim re-exports
+//! `std::thread::scope` under the `crossbeam::thread` path the workspace
+//! depends on, keeping the dependency declaration stable for when the real
+//! crate is reachable again.
+
+pub mod thread {
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_locals() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut results = vec![0u64; data.len()];
+        super::thread::scope(|s| {
+            for (slot, &x) in results.iter_mut().zip(&data) {
+                s.spawn(move || *slot = x * 10);
+            }
+        });
+        assert_eq!(results, vec![10, 20, 30, 40]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Implements the subset the workspace's property tests rely on —
+//! `proptest!`, range/tuple/`Just`/`prop_map`/`prop_oneof!`/collection-vec
+//! strategies, `ProptestConfig::with_cases`, and the `prop_assert*` macros —
+//! as plain deterministic random testing (no shrinking, no persisted
+//! regressions). Each test function draws its cases from an RNG seeded by
+//! the test name, so failures are reproducible run-to-run; the sampled
+//! inputs are printed when a case panics.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+/// The RNG handed to strategies while generating a case.
+pub struct TestRng(pub(crate) StdRng);
+
+impl TestRng {
+    /// A generator seeded deterministically from the test's name.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+}
+
+/// Per-test configuration (only the case count is honoured).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Prints the sampled inputs if the test body panics (armed during the
+/// body, disarmed after it returns normally).
+pub struct FailureReporter {
+    name: &'static str,
+    case: u32,
+    inputs: Option<String>,
+}
+
+impl FailureReporter {
+    /// Arms a reporter for one case.
+    pub fn new(name: &'static str, case: u32, inputs: String) -> Self {
+        FailureReporter {
+            name,
+            case,
+            inputs: Some(inputs),
+        }
+    }
+
+    /// Marks the case as passed; nothing is printed on drop.
+    pub fn disarm(mut self) {
+        self.inputs = None;
+    }
+}
+
+impl Drop for FailureReporter {
+    fn drop(&mut self) {
+        if let Some(inputs) = &self.inputs {
+            eprintln!(
+                "proptest {}: failing case #{}: {}",
+                self.name, self.case, inputs
+            );
+        }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec`).
+    pub mod prop {
+        pub mod collection {
+            pub use crate::strategy::collection_vec as vec;
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($s)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                    let reporter = $crate::FailureReporter::new(
+                        stringify!($name),
+                        case,
+                        format!(concat!($(stringify!($arg), " = {:?}; ",)*), $(&$arg),*),
+                    );
+                    { $body }
+                    reporter.disarm();
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,204 @@
+//! Value-generation strategies for the vendored mini-proptest.
+
+use crate::TestRng;
+use rand::Rng;
+
+/// Generates random values of `Self::Value`.
+///
+/// Unlike real proptest there is no shrinking: a strategy is just a
+/// deterministic sampler over the test's RNG stream.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Strategy for vectors with a length drawn from `len`, used as
+/// `prop::collection::vec(elem, a..b)`.
+pub struct VecStrategy<S> {
+    elem: S,
+    len: core::ops::Range<usize>,
+}
+
+/// Builds a [`VecStrategy`] (re-exported as `prop::collection::vec`).
+pub fn collection_vec<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+    VecStrategy { elem, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.0.gen_range(self.len.clone());
+        (0..n).map(|_| self.elem.sample(rng)).collect()
+    }
+}
+
+/// A type-erased sampler, produced by [`boxed`] so that `prop_oneof!`
+/// arms of different strategy types can share one `Union`.
+pub struct BoxedSampler<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+/// Erases a strategy's type; each call to the result samples the strategy.
+pub fn boxed<S>(s: S) -> BoxedSampler<S::Value>
+where
+    S: Strategy + 'static,
+{
+    BoxedSampler(Box::new(move |rng| s.sample(rng)))
+}
+
+/// Picks one of several alternatives uniformly, then samples it
+/// (the expansion of `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedSampler<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedSampler<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.0.gen_range(0..self.options.len());
+        (self.options[idx].0)(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges_stay_in_bounds");
+        for _ in 0..500 {
+            let v = (3u32..17).sample(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (5i64..=9).sample(&mut rng);
+            assert!((5..=9).contains(&w));
+        }
+    }
+
+    #[test]
+    fn map_just_tuple_vec_compose() {
+        let mut rng = TestRng::deterministic("map_just_tuple_vec_compose");
+        let strat = (Just(7u32), (0u32..4).prop_map(|x| x * 2));
+        for _ in 0..100 {
+            let (a, b) = strat.sample(&mut rng);
+            assert_eq!(a, 7);
+            assert!(b % 2 == 0 && b <= 6);
+        }
+        let vs = collection_vec(0u64..10, 2..5);
+        for _ in 0..100 {
+            let v = vs.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn union_covers_all_arms() {
+        let mut rng = TestRng::deterministic("union_covers_all_arms");
+        let u = Union::new(vec![boxed(Just(1u8)), boxed(Just(2u8)), boxed(Just(3u8))]);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[u.sample(&mut rng) as usize] = true;
+        }
+        assert_eq!(&seen[1..], &[true, true, true]);
+    }
+}

@@ -1,0 +1,17 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde stand-in.
+//!
+//! The derives expand to nothing: the workspace never calls serde's traits,
+//! so an empty expansion keeps every `#[derive(Serialize, Deserialize)]`
+//! compiling without pulling in syn/quote (unavailable offline).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
