@@ -38,6 +38,7 @@ fn reductions(cfg: &DiskConfig, count: usize, seed: u64) -> (f64, f64) {
 
 fn main() {
     let cli = Cli::parse();
+    let probe = cli.probe();
     let count = if cli.quick { 400 } else { 2000 };
     let pool = cli.executor();
 
@@ -65,7 +66,7 @@ fn main() {
         })
         .collect();
     let lines = pool.run(sheets, |_, (sheet, pap)| {
-        let cfg = sheet.build();
+        let cfg = probe.wrap(sheet.build());
         let (one, two) = reductions(&cfg, count, cli.seed);
         row_string([
             sheet.name.to_string(),
@@ -82,13 +83,16 @@ fn main() {
     header("Ablation B: Atlas 10K II firmware features in isolation");
     row(["configuration".into(), "onereq".into(), "tworeq".into()]);
     let configs = vec![
-        ("stock (zero-latency on)", models::quantum_atlas_10k_ii()),
+        (
+            "stock (zero-latency on)",
+            probe.wrap(models::quantum_atlas_10k_ii()),
+        ),
         (
             "zero-latency disabled",
-            DiskConfig {
+            probe.wrap(DiskConfig {
                 zero_latency: false,
                 ..models::quantum_atlas_10k_ii()
-            },
+            }),
         ),
     ];
     let lines = pool.run(configs, |_, (label, cfg)| {
@@ -102,4 +106,5 @@ fn main() {
         "with zero-latency disabled, alignment only saves the head switch — the gain collapses, \
          confirming §2.2's claim that the two mechanisms together make the track the sweet spot"
     );
+    probe.finish();
 }

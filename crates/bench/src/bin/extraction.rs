@@ -73,6 +73,7 @@ fn apply(variant: &Variant, cfg: DiskConfig) -> DiskConfig {
 
 fn main() {
     let cli = Cli::parse_with(&["--full"]);
+    let probe = cli.probe();
 
     header("§4.1: track-boundary extraction");
     row([
@@ -96,7 +97,7 @@ fn main() {
 
     let lines = cli.executor().run(jobs, |_, job| match job {
         Job::SmallGeneral(v) => {
-            let disk = Disk::new(apply(&v, models::small_test_disk()));
+            let disk = Disk::new(probe.wrap(apply(&v, models::small_test_disk())));
             let truth = ground_truth(&disk);
             let mut s = ScsiDisk::new(disk);
             let gcfg = GeneralConfig {
@@ -114,7 +115,7 @@ fn main() {
             ])
         }
         Job::SmallScsi(v) => {
-            let disk = Disk::new(apply(&v, models::small_test_disk()));
+            let disk = Disk::new(probe.wrap(apply(&v, models::small_test_disk())));
             let truth = ground_truth(&disk);
             let mut s = ScsiDisk::new(disk);
             let r = extract_scsi(&mut s);
@@ -131,7 +132,7 @@ fn main() {
             // The full Atlas 10K II with the SCSI algorithm (paper: < 1
             // minute, ≈ 2.0–2.3 translations per track for the
             // expertise-free walk).
-            let disk = Disk::new(models::quantum_atlas_10k_ii());
+            let disk = Disk::new(probe.wrap(models::quantum_atlas_10k_ii()));
             let truth = ground_truth(&disk);
             let mut s = ScsiDisk::new(disk);
             let r = extract_scsi(&mut s);
@@ -148,7 +149,7 @@ fn main() {
             ])
         }
         Job::AtlasGeneral => {
-            let disk = Disk::new(models::quantum_atlas_10k_ii());
+            let disk = Disk::new(probe.wrap(models::quantum_atlas_10k_ii()));
             let truth = ground_truth(&disk);
             let mut s = ScsiDisk::new(disk);
             let g = extract_general(&mut s, &GeneralConfig::default());
@@ -165,4 +166,5 @@ fn main() {
     for line in lines {
         println!("{line}");
     }
+    probe.finish();
 }

@@ -15,8 +15,9 @@ use workloads::microbench::{run_random_io, Alignment, QueueDepth, RandomIoSpec};
 
 fn main() {
     let cli = Cli::parse();
+    let probe = cli.probe();
     let count = if cli.quick { 300 } else { 2000 };
-    let cfg = models::quantum_atlas_10k_ii();
+    let cfg = probe.wrap(models::quantum_atlas_10k_ii());
     let track = cfg.geometry.track(0).lbn_count() as u64; // 528 sectors
     let params = DiskParams {
         rev_ms: cfg.spindle.revolution().as_millis_f64(),
@@ -76,4 +77,5 @@ fn main() {
     for line in lines {
         println!("{line}");
     }
+    probe.finish();
 }

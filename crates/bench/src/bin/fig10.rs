@@ -13,12 +13,13 @@ use traxtent_bench::{header, row, row_string, Cli};
 
 fn main() {
     let cli = Cli::parse();
+    let probe = cli.probe();
     let (ti_samples, updates, capacity) = if cli.quick {
         (120, 40_000, 1 << 16)
     } else {
         (400, 150_000, 1 << 18)
     };
-    let cfg = models::quantum_atlas_10k_ii();
+    let cfg = probe.wrap(models::quantum_atlas_10k_ii());
     let track = cfg.geometry.track(0).lbn_count() as u64; // 528 sectors = 264 KB
 
     header("Figure 10: LFS overall write cost vs segment size (Atlas 10K II)");
@@ -76,4 +77,5 @@ fn main() {
         at_track.1,
         100.0 * (1.0 - at_track.0 / at_track.1)
     );
+    probe.finish();
 }

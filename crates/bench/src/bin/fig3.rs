@@ -11,8 +11,9 @@ use workloads::microbench::{run_random_io, Alignment, QueueDepth, RandomIoSpec};
 
 fn main() {
     let cli = Cli::parse();
+    let probe = cli.probe();
     let count = if cli.quick { 200 } else { 1500 };
-    let cfg = models::quantum_atlas_10k_ii();
+    let cfg = probe.wrap(models::quantum_atlas_10k_ii());
     let rev_ms = cfg.spindle.revolution().as_millis_f64();
     let spt = cfg.geometry.track(0).lbn_count();
 
@@ -59,4 +60,5 @@ fn main() {
     for line in lines {
         println!("{line}");
     }
+    probe.finish();
 }

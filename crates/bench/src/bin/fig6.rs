@@ -23,8 +23,9 @@ const PCTS: [u64; 5] = [10, 25, 50, 75, 100];
 fn main() {
     let cli = Cli::parse_with(&["--writes"]);
     let writes = cli.has("--writes");
+    let probe = cli.probe();
     let count = if cli.quick { 300 } else { 2000 };
-    let cfg = models::quantum_atlas_10k_ii();
+    let cfg = probe.wrap(models::quantum_atlas_10k_ii());
     let track = cfg.geometry.track(0).lbn_count() as u64;
     let op = if writes { Op::Write } else { Op::Read };
 
@@ -93,4 +94,5 @@ fn main() {
     } else {
         println!("paper: track-sized writes — onereq 10.0 vs 13.9 ms, tworeq 10.2 vs 13.8 ms");
     }
+    probe.finish();
 }

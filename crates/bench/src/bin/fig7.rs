@@ -10,8 +10,9 @@ use workloads::microbench::{run_random_io, Alignment, QueueDepth, RandomIoSpec};
 
 fn main() {
     let cli = Cli::parse();
+    let probe = cli.probe();
     let count = if cli.quick { 300 } else { 2000 };
-    let cfg = models::quantum_atlas_10k_ii();
+    let cfg = probe.wrap(models::quantum_atlas_10k_ii());
     let track = cfg.geometry.track(0).lbn_count() as u64;
 
     header("Figure 7: response-time breakdown, track-sized reads (ms)");
@@ -65,4 +66,5 @@ fn main() {
     println!(
         "paper: normal ≈ 12.0 ms; aligned ≈ 9.2 ms; out-of-order delivery overlaps the bus tail"
     );
+    probe.finish();
 }

@@ -12,11 +12,12 @@ const PCTS: [u64; 6] = [2, 10, 25, 50, 75, 100];
 
 fn main() {
     let cli = Cli::parse();
+    let probe = cli.probe();
     let count = if cli.quick { 400 } else { 3000 };
-    let cfg = DiskConfig {
+    let cfg = probe.wrap(DiskConfig {
         bus: BusConfig::infinite(),
         ..models::quantum_atlas_10k_ii()
-    };
+    });
     let track = cfg.geometry.track(0).lbn_count() as u64;
 
     header("Figure 8: response time ± σ vs request size (infinite bus)");
@@ -56,4 +57,5 @@ fn main() {
         ]);
     }
     println!("paper: σ_aligned falls to ≈ 0.4 ms at track size (pure seek variance); σ_unaligned stays ≈ 1.5 ms");
+    probe.finish();
 }

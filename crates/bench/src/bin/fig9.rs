@@ -10,7 +10,8 @@ use videoserver::{hard, soft, ServerConfig};
 
 fn main() {
     let cli = Cli::parse_with(&["--hard"]);
-    let cfg = models::quantum_atlas_10k_ii();
+    let probe = cli.probe();
+    let cfg = probe.wrap(models::quantum_atlas_10k_ii());
     let track = cfg.geometry.track(0).lbn_count() as u64;
 
     if cli.has("--hard") {
@@ -30,6 +31,7 @@ fn main() {
             println!("{line}");
         }
         println!("paper: 264 KB → 36 vs 67; 528 KB → 52 vs 75");
+        probe.finish();
         return;
     }
 
@@ -92,4 +94,5 @@ fn main() {
         "at a 0.5 s round with track-sized I/Os: aligned {} vs unaligned {} streams/disk (paper: 70 vs 45)",
         counts[0], counts[1]
     );
+    probe.finish();
 }

@@ -6,6 +6,7 @@ use traxtent_bench::{header, row, row_string, Cli};
 
 fn main() {
     let cli = Cli::parse();
+    let probe = cli.probe();
     header("Table 1: representative disk characteristics");
     row([
         "Disk".into(),
@@ -21,7 +22,7 @@ fn main() {
     // Building a full geometry is the expensive part; build each sheet's in
     // its own job.
     let lines = cli.executor().run(models::table1_sheets(), |_, sheet| {
-        let cfg = sheet.build();
+        let cfg = probe.wrap(sheet.build());
         let built_gb = cfg.geometry.capacity_lbns() as f64 * 512.0 / 1e9;
         row_string([
             sheet.name.to_string(),
@@ -38,4 +39,5 @@ fn main() {
     for line in lines {
         println!("{line}");
     }
+    probe.finish();
 }

@@ -22,6 +22,7 @@ const PERSONALITIES: [Personality; 3] = [
 
 fn main() {
     let cli = Cli::parse();
+    let probe = cli.probe();
     let scale = if cli.quick { 8 } else { 1 };
     let (scan_bytes, diff_bytes, copy_bytes) = (4 * GB / scale, 512 * MB / scale, GB / scale);
     let (pm_files, pm_tx) = if cli.quick { (120, 400) } else { (500, 2000) };
@@ -45,7 +46,7 @@ fn main() {
         .flat_map(|&p| (0..APPS).map(move |a| (p, a)))
         .collect();
     let cells = cli.executor().run(jobs, |_, (p, app)| {
-        let mut fs = FileSystem::format(Disk::new(models::quantum_atlas_10k()), p);
+        let mut fs = FileSystem::format(Disk::new(probe.wrap(models::quantum_atlas_10k())), p);
         match app {
             0 => format!(
                 "{:.1}",
@@ -92,4 +93,5 @@ fn main() {
         "paper (unmodified / fast start / traxtents): scan 189.6/188.9/199.8, diff 69.7/70.0/56.6, \
          copy 156.9/155.3/124.9, Postmark 53/53/55, SSH-build 72.0/71.5/71.5, head* 4.6/5.5/5.2"
     );
+    probe.finish();
 }

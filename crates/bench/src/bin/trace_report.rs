@@ -1,0 +1,199 @@
+//! Offline analyzer for `--trace` JSONL files: event census, per-phase
+//! latency percentiles, a Figure-3/7-style mean breakdown of where the
+//! response time went, and an accounting check that the per-phase sums
+//! reproduce the host-observed response times.
+//!
+//! ```text
+//! fig3 --quick --trace /tmp/fig3.jsonl
+//! trace_report /tmp/fig3.jsonl
+//! ```
+
+use sim_disk::metrics::{MetricsRegistry, PHASES};
+use sim_disk::trace::TraceEvent;
+use std::collections::BTreeMap;
+use std::io::BufRead;
+
+/// The worst request rows printed by default; override with `--top <n>`.
+const DEFAULT_TOP: usize = 5;
+
+fn usage(name: &str) -> ! {
+    eprintln!("usage: {name} <trace.jsonl> [--top <n>]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let name = std::env::args()
+        .next()
+        .unwrap_or_else(|| "trace_report".into());
+    let mut path = None;
+    let mut top = DEFAULT_TOP;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--top" => {
+                top = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage(&name));
+            }
+            _ if path.is_none() && !a.starts_with('-') => path = Some(a),
+            _ => usage(&name),
+        }
+    }
+    let path = path.unwrap_or_else(|| usage(&name));
+
+    let file = std::fs::File::open(&path).unwrap_or_else(|e| {
+        eprintln!("error: cannot open `{path}`: {e}");
+        std::process::exit(1);
+    });
+
+    let mut census: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut registry = MetricsRegistry::new();
+    let mut completes: Vec<TraceEvent> = Vec::new();
+    let mut scsi: BTreeMap<String, u64> = BTreeMap::new();
+    for (i, line) in std::io::BufReader::new(file).lines().enumerate() {
+        let line = line.unwrap_or_else(|e| {
+            eprintln!("error: read failure at line {}: {e}", i + 1);
+            std::process::exit(1);
+        });
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = TraceEvent::parse_json(&line).unwrap_or_else(|e| {
+            eprintln!("error: line {} is not a trace event: {e}", i + 1);
+            std::process::exit(1);
+        });
+        *census.entry(event.name()).or_insert(0) += 1;
+        match &event {
+            TraceEvent::Complete { .. } => {
+                registry.observe_complete(&event);
+                completes.push(event);
+            }
+            TraceEvent::ScsiCommand { kind, .. } => {
+                *scsi.entry(kind.clone()).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+
+    println!("# Trace report: {path}");
+    println!("## Event census");
+    for (name, count) in &census {
+        println!("{name:<12} {count:>10}");
+    }
+    if !scsi.is_empty() {
+        println!("## SCSI diagnostic commands");
+        for (kind, count) in &scsi {
+            println!("{kind:<17} {count:>5}");
+        }
+    }
+
+    if completes.is_empty() {
+        println!("no completed requests in trace");
+        return;
+    }
+
+    // Figure-3/7-style mean breakdown: where the average response went.
+    let n = completes.len() as f64;
+    let mut sums = [0u128; PHASES.len()];
+    let mut worst_residual = 0u64;
+    for c in &completes {
+        for (k, phase) in PHASES.iter().enumerate() {
+            sums[k] += u128::from(phase_ns(c, phase));
+        }
+        let accounted: u64 = PHASES[..PHASES.len() - 1]
+            .iter()
+            .map(|p| phase_ns(c, p))
+            .sum();
+        let response = phase_ns(c, "response");
+        worst_residual = worst_residual.max(response.abs_diff(accounted));
+    }
+    let mean_ms = |k: usize| sums[k] as f64 / n / 1e6;
+    let response_ms = mean_ms(PHASES.len() - 1);
+    println!(
+        "## Mean response-time breakdown ({} requests)",
+        completes.len()
+    );
+    println!("{:<13} {:>9} {:>7}", "phase", "mean_ms", "share");
+    for (k, phase) in PHASES.iter().enumerate().take(PHASES.len() - 1) {
+        println!(
+            "{:<13} {:>9.4} {:>6.1}%",
+            phase,
+            mean_ms(k),
+            100.0 * mean_ms(k) / response_ms
+        );
+    }
+    println!("{:<13} {:>9.4} {:>6.1}%", "response", response_ms, 100.0);
+    println!(
+        "phase sums reproduce response within {:.1} µs worst-case (rounding residual)",
+        worst_residual as f64 / 1e3
+    );
+
+    // Percentile table — the same one `--metrics` prints at run time.
+    print!("{}", registry.report());
+
+    // The slowest requests, with their individual breakdowns.
+    completes.sort_by_key(|c| std::cmp::Reverse(phase_ns(c, "response")));
+    println!("## Slowest {} requests (ms)", top.min(completes.len()));
+    println!(
+        "{:<8} {:<5} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "req", "op", "response", "queue", "seek", "rot", "media", "bus"
+    );
+    for c in completes.iter().take(top) {
+        if let TraceEvent::Complete {
+            req,
+            op,
+            queue,
+            seek,
+            rot_latency,
+            media,
+            bus,
+            response,
+            ..
+        } = c
+        {
+            println!(
+                "{:<8} {:<5} {:>9.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
+                req,
+                format!("{op:?}").to_lowercase(),
+                *response as f64 / 1e6,
+                *queue as f64 / 1e6,
+                *seek as f64 / 1e6,
+                *rot_latency as f64 / 1e6,
+                *media as f64 / 1e6,
+                *bus as f64 / 1e6,
+            );
+        }
+    }
+}
+
+/// One named phase of a [`TraceEvent::Complete`], in nanoseconds.
+fn phase_ns(c: &TraceEvent, phase: &str) -> u64 {
+    let TraceEvent::Complete {
+        queue,
+        overhead,
+        seek,
+        head_switch,
+        rot_latency,
+        media,
+        bus,
+        write_settle,
+        response,
+        ..
+    } = c
+    else {
+        return 0;
+    };
+    match phase {
+        "queue" => *queue,
+        "overhead" => *overhead,
+        "seek" => *seek,
+        "head_switch" => *head_switch,
+        "rot_latency" => *rot_latency,
+        "media" => *media,
+        "bus" => *bus,
+        "write_settle" => *write_settle,
+        "response" => *response,
+        _ => 0,
+    }
+}

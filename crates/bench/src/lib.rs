@@ -24,8 +24,14 @@
 
 pub mod exec;
 
+use sim_disk::disk::DiskConfig;
+use sim_disk::metrics::MetricsRegistry;
+use sim_disk::trace::{Fanout, JsonlSink, SharedSink, Tracer};
+use std::sync::{Arc, Mutex};
+
 /// Command-line convention shared by the binaries: `--quick`, `--seed N`,
-/// `--threads N`, plus binary-specific boolean flags.
+/// `--threads N`, `--trace <path>`, `--metrics`, plus binary-specific
+/// boolean flags.
 #[derive(Debug, Clone)]
 pub struct Cli {
     /// Reduced sample counts for fast smoke runs.
@@ -33,7 +39,14 @@ pub struct Cli {
     /// Base RNG seed.
     pub seed: u64,
     /// Worker threads for independent simulation cells (1 = sequential).
+    /// Forced to 1 when `--trace` or `--metrics` is given, so the event
+    /// stream is deterministic.
     pub threads: usize,
+    /// JSONL trace output path (`--trace <path>`), if requested.
+    pub trace: Option<String>,
+    /// Whether `--metrics` was given: print a per-phase latency table to
+    /// stderr when the run finishes.
+    pub metrics: bool,
     /// Binary-specific boolean flags that were passed (e.g. `--writes`).
     flags: Vec<String>,
 }
@@ -54,10 +67,14 @@ impl Cli {
             Err(msg) => {
                 let name = std::env::args().next().unwrap_or_else(|| "bench".into());
                 eprintln!("error: {msg}");
-                eprintln!("usage: {name} [--quick] [--seed <n>] [--threads <n>]{}", {
-                    let extra: String = known.iter().map(|f| format!(" [{f}]")).collect();
-                    extra
-                });
+                eprintln!(
+                    "usage: {name} [--quick] [--seed <n>] [--threads <n>] \
+                     [--trace <path>] [--metrics]{}",
+                    {
+                        let extra: String = known.iter().map(|f| format!(" [{f}]")).collect();
+                        extra
+                    }
+                );
                 std::process::exit(2);
             }
         }
@@ -72,6 +89,8 @@ impl Cli {
             quick: false,
             seed: 0x5eed,
             threads: default_threads(),
+            trace: None,
+            metrics: false,
             flags: Vec::new(),
         };
         let mut args = args.into_iter();
@@ -87,9 +106,18 @@ impl Cli {
                         return Err("--threads must be at least 1".into());
                     }
                 }
+                "--trace" => {
+                    cli.trace = Some(args.next().ok_or("--trace requires a path")?);
+                }
+                "--metrics" => cli.metrics = true,
                 flag if known.contains(&flag) => cli.flags.push(a),
                 _ => return Err(format!("unrecognized argument `{a}`")),
             }
+        }
+        if cli.trace.is_some() || cli.metrics {
+            // One worker: requests then hit the shared sink in a stable
+            // order, and the hot path never contends on the sink lock.
+            cli.threads = 1;
         }
         Ok(cli)
     }
@@ -102,6 +130,87 @@ impl Cli {
     /// A worker pool sized by `--threads`.
     pub fn executor(&self) -> exec::Executor {
         exec::Executor::new(self.threads)
+    }
+
+    /// Builds the observability sinks requested by `--trace`/`--metrics`.
+    /// With neither flag, the probe is inert and attaching it leaves
+    /// configurations untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `--trace` file cannot be created.
+    pub fn probe(&self) -> Probe {
+        let metrics = (self.metrics).then(|| Arc::new(Mutex::new(MetricsRegistry::new())));
+        let mut sinks: Vec<SharedSink> = Vec::new();
+        if let Some(path) = &self.trace {
+            let sink = JsonlSink::create(path)
+                .unwrap_or_else(|e| panic!("cannot create trace file `{path}`: {e}"));
+            sinks.push(Arc::new(Mutex::new(sink)));
+        }
+        if let Some(reg) = &metrics {
+            sinks.push(reg.clone() as SharedSink);
+        }
+        let tracer = match sinks.len() {
+            0 => None,
+            1 => Some(Tracer::new(sinks.pop().expect("one sink"))),
+            _ => Some(Tracer::from_sink(Fanout::new(sinks))),
+        };
+        Probe { tracer, metrics }
+    }
+}
+
+/// The per-run observability harness behind `--trace` and `--metrics`:
+/// holds the shared trace sink (JSONL file, metrics registry, or both) and
+/// attaches it to drive configurations as they are built.
+///
+/// Figure binaries create one probe per run, [`Probe::attach`] it to every
+/// [`DiskConfig`] they construct, and call [`Probe::finish`] before
+/// exiting; the metrics table goes to **stderr** so a figure's stdout
+/// stays byte-identical with the probe disabled.
+pub struct Probe {
+    tracer: Option<Tracer>,
+    metrics: Option<Arc<Mutex<MetricsRegistry>>>,
+}
+
+impl Probe {
+    /// An inert probe (no tracing, no metrics).
+    pub fn disabled() -> Self {
+        Probe {
+            tracer: None,
+            metrics: None,
+        }
+    }
+
+    /// Whether any sink is attached.
+    pub fn enabled(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Points `config` at the probe's sink (no-op for an inert probe), so
+    /// every drive built from it — directly or deep inside a file-system
+    /// layer — reports there.
+    pub fn attach(&self, config: &mut DiskConfig) {
+        if let Some(t) = &self.tracer {
+            config.tracer = Some(t.clone());
+        }
+    }
+
+    /// [`Probe::attach`] as a by-value adapter, for builder-style call
+    /// sites.
+    pub fn wrap(&self, mut config: DiskConfig) -> DiskConfig {
+        self.attach(&mut config);
+        config
+    }
+
+    /// Flushes the trace file and, when `--metrics` was given, prints the
+    /// per-phase latency table to stderr.
+    pub fn finish(&self) {
+        if let Some(t) = &self.tracer {
+            t.flush();
+        }
+        if let Some(reg) = &self.metrics {
+            eprint!("{}", reg.lock().expect("metrics registry").report());
+        }
     }
 }
 
@@ -184,5 +293,42 @@ mod tests {
     #[test]
     fn zero_threads_is_rejected() {
         assert!(Cli::parse_args(args(&["--threads", "0"]), &[]).is_err());
+    }
+
+    #[test]
+    fn trace_and_metrics_force_one_thread() {
+        let cli = Cli::parse_args(args(&["--threads", "8", "--metrics"]), &[]).unwrap();
+        assert!(cli.metrics);
+        assert_eq!(cli.threads, 1);
+        let cli = Cli::parse_args(args(&["--trace", "/tmp/t.jsonl"]), &[]).unwrap();
+        assert_eq!(cli.trace.as_deref(), Some("/tmp/t.jsonl"));
+        assert_eq!(cli.threads, 1);
+        assert!(Cli::parse_args(args(&["--trace"]), &[]).is_err());
+    }
+
+    #[test]
+    fn disabled_probe_leaves_configs_untouched() {
+        let probe = Probe::disabled();
+        assert!(!probe.enabled());
+        let cfg = probe.wrap(sim_disk::models::small_test_disk());
+        assert!(cfg.tracer.is_none());
+        probe.finish(); // must be a no-op, not a panic
+    }
+
+    #[test]
+    fn metrics_probe_collects_from_attached_drives() {
+        let cli = Cli::parse_args(args(&["--metrics"]), &[]).unwrap();
+        let probe = cli.probe();
+        assert!(probe.enabled());
+        let cfg = probe.wrap(sim_disk::models::small_test_disk());
+        let mut disk = sim_disk::Disk::new(cfg);
+        let c = disk.service(
+            sim_disk::disk::Request::read(0, 64),
+            sim_disk::SimTime::ZERO,
+        );
+        let reg = probe.metrics.as_ref().unwrap().lock().unwrap();
+        assert_eq!(reg.requests(), 1);
+        let resp = reg.phase("response").unwrap();
+        assert_eq!(resp.max_ns(), c.response_time().as_ns());
     }
 }

@@ -56,6 +56,20 @@ pub struct TrackBoundaries {
 impl TrackBoundaries {
     /// Builds a table from track start LBNs and the total capacity.
     ///
+    /// ```
+    /// use traxtent::{BoundariesError, TrackBoundaries};
+    ///
+    /// // Tracks start at LBN 0, 100, and 199; the disk holds 300 sectors.
+    /// let tb = TrackBoundaries::new(vec![0, 100, 199], 300).unwrap();
+    /// assert_eq!(tb.num_tracks(), 3);
+    ///
+    /// // The first track must start at LBN 0.
+    /// assert_eq!(
+    ///     TrackBoundaries::new(vec![1, 100], 300),
+    ///     Err(BoundariesError::MissingOrigin)
+    /// );
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns a [`BoundariesError`] unless `starts` begins at 0, is strictly
@@ -79,6 +93,15 @@ impl TrackBoundaries {
     }
 
     /// Builds a table from consecutive track lengths.
+    ///
+    /// ```
+    /// use traxtent::TrackBoundaries;
+    ///
+    /// // Zoned recording and slipped defects make real track lengths vary.
+    /// let tb = TrackBoundaries::from_track_lengths([100, 99, 101]).unwrap();
+    /// assert_eq!(tb.capacity(), 300);
+    /// assert_eq!(tb.track_bounds(150), (100, 199));
+    /// ```
     ///
     /// # Errors
     ///
@@ -121,6 +144,15 @@ impl TrackBoundaries {
     }
 
     /// The index of the track containing `lbn`.
+    ///
+    /// ```
+    /// use traxtent::TrackBoundaries;
+    ///
+    /// let tb = TrackBoundaries::from_track_lengths([100, 99, 101]).unwrap();
+    /// assert_eq!(tb.track_index(0), 0);
+    /// assert_eq!(tb.track_index(100), 1); // first sector of track 1
+    /// assert_eq!(tb.track_index(198), 1); // last sector of track 1
+    /// ```
     ///
     /// # Panics
     ///
@@ -170,6 +202,18 @@ impl TrackBoundaries {
     /// Splits an extent at every track boundary it crosses, yielding pieces
     /// that each lie within a single track.
     ///
+    /// ```
+    /// use traxtent::{Extent, TrackBoundaries};
+    ///
+    /// let tb = TrackBoundaries::from_track_lengths([100, 100, 100]).unwrap();
+    /// let pieces: Vec<Extent> = tb.split_extent(Extent::new(50, 200)).collect();
+    /// assert_eq!(pieces, vec![
+    ///     Extent::new(50, 50),   // tail of track 0
+    ///     Extent::new(100, 100), // all of track 1
+    ///     Extent::new(200, 50),  // head of track 2
+    /// ]);
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if the extent extends beyond capacity.
@@ -185,6 +229,14 @@ impl TrackBoundaries {
     /// Clips `[start, start + want)` so it does not cross the end of the
     /// track containing `start`; returns the clipped length (≥ 1 for any
     /// in-range start).
+    ///
+    /// ```
+    /// use traxtent::TrackBoundaries;
+    ///
+    /// let tb = TrackBoundaries::from_track_lengths([100, 100]).unwrap();
+    /// assert_eq!(tb.clip_to_track(90, 64), 10); // stops at the boundary
+    /// assert_eq!(tb.clip_to_track(90, 5), 5);   // already within the track
+    /// ```
     ///
     /// # Panics
     ///

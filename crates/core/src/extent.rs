@@ -15,6 +15,14 @@ pub struct Extent {
 impl Extent {
     /// Creates an extent.
     ///
+    /// ```
+    /// use traxtent::Extent;
+    ///
+    /// let e = Extent::new(10, 5); // sectors 10, 11, 12, 13, 14
+    /// assert_eq!(e.end(), 15);
+    /// assert!(e.contains(14) && !e.contains(15));
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if `len` is zero or the range overflows `u64`.
@@ -28,6 +36,13 @@ impl Extent {
     }
 
     /// Creates an extent from half-open bounds, or `None` if empty.
+    ///
+    /// ```
+    /// use traxtent::Extent;
+    ///
+    /// assert_eq!(Extent::from_bounds(5, 7), Some(Extent::new(5, 2)));
+    /// assert_eq!(Extent::from_bounds(5, 5), None); // empty range
+    /// ```
     pub fn from_bounds(start: u64, end: u64) -> Option<Self> {
         (end > start).then(|| Extent::new(start, end - start))
     }
@@ -53,12 +68,31 @@ impl Extent {
     }
 
     /// The overlap of two extents, if any.
+    ///
+    /// ```
+    /// use traxtent::Extent;
+    ///
+    /// let a = Extent::new(0, 10);
+    /// assert_eq!(a.intersect(&Extent::new(5, 10)), Some(Extent::new(5, 5)));
+    /// assert_eq!(a.intersect(&Extent::new(10, 5)), None); // merely adjacent
+    /// ```
     pub fn intersect(&self, other: &Extent) -> Option<Extent> {
         Extent::from_bounds(self.start.max(other.start), self.end().min(other.end()))
     }
 
     /// Splits at an absolute LBN, returning the (left, right) parts. Either
     /// may be `None` if the cut falls at or outside an edge.
+    ///
+    /// ```
+    /// use traxtent::Extent;
+    ///
+    /// let e = Extent::new(10, 10);
+    /// assert_eq!(
+    ///     e.split_at(15),
+    ///     (Some(Extent::new(10, 5)), Some(Extent::new(15, 5)))
+    /// );
+    /// assert_eq!(e.split_at(10), (None, Some(e))); // cut at the left edge
+    /// ```
     pub fn split_at(&self, lbn: u64) -> (Option<Extent>, Option<Extent>) {
         (
             Extent::from_bounds(self.start, lbn.min(self.end())),

@@ -38,6 +38,8 @@
 //! ]);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod alloc;
 pub mod boundaries;
 pub mod extent;
@@ -48,4 +50,4 @@ pub mod stats;
 pub use alloc::TraxtentAllocator;
 pub use boundaries::{BoundariesError, TrackBoundaries};
 pub use extent::Extent;
-pub use planner::{RequestPlanner, StripePlanner};
+pub use planner::{PlanStatsSnapshot, RequestPlanner, StripePlanner};

@@ -76,6 +76,7 @@ fn disk_for(spec: GeometrySpec) -> Option<Disk> {
         zero_latency: true,
         bus: BusConfig::in_order(160.0),
         cache: CacheConfig::default(),
+        tracer: None,
     }))
 }
 

@@ -18,9 +18,12 @@
 //! "fewer than 30,000 LBN translations", "approximately 2.0–2.3 translations
 //! per track").
 
+#![warn(missing_docs)]
+
 use sim_disk::defects::DefectLocation;
 use sim_disk::disk::{Disk, Request};
 use sim_disk::geometry::Pba;
+use sim_disk::trace::TraceEvent;
 use sim_disk::{Completion, SimDur, SimTime};
 
 /// Per-command-type counters.
@@ -100,10 +103,24 @@ impl ScsiDisk {
         &self.disk
     }
 
+    /// Charges one non-media command: advances the clock by the diagnostic
+    /// round-trip cost and, when the underlying drive carries a tracer,
+    /// emits a [`TraceEvent::ScsiCommand`] naming the command.
+    fn diag(&mut self, kind: &'static str) {
+        if let Some(tracer) = self.disk.tracer() {
+            tracer.record(&TraceEvent::ScsiCommand {
+                t: self.now.as_ns(),
+                dur: self.diag_cost.as_ns(),
+                kind: kind.to_string(),
+            });
+        }
+        self.now += self.diag_cost;
+    }
+
     /// `READ CAPACITY`: total number of LBNs.
     pub fn read_capacity(&mut self) -> u64 {
         self.counts.queries += 1;
-        self.now += self.diag_cost;
+        self.diag("read_capacity");
         self.disk.geometry().capacity_lbns()
     }
 
@@ -112,7 +129,7 @@ impl ScsiDisk {
     /// not included.)
     pub fn mode_sense(&mut self) -> ModeSense {
         self.counts.queries += 1;
-        self.now += self.diag_cost;
+        self.diag("mode_sense");
         ModeSense {
             rpm: (60.0e9 / self.disk.spindle().revolution().as_ns() as f64).round() as u32,
             cylinders: self.disk.geometry().cylinders(),
@@ -161,7 +178,7 @@ impl ScsiDisk {
     /// CONDITION; extraction code never asks out of range).
     pub fn translate_lbn(&mut self, lbn: u64) -> Pba {
         self.counts.translations += 1;
-        self.now += self.diag_cost;
+        self.diag("translate_lbn");
         self.disk
             .geometry()
             .lbn_to_pba(lbn)
@@ -172,14 +189,14 @@ impl ScsiDisk {
     /// Returns `None` for slots holding no LBN (spares, defects, reserved).
     pub fn translate_pba(&mut self, pba: Pba) -> Option<u64> {
         self.counts.translations += 1;
-        self.now += self.diag_cost;
+        self.diag("translate_pba");
         self.disk.geometry().pba_to_lbn(pba)
     }
 
     /// `READ DEFECT DATA`: the factory (P-list) defect list.
     pub fn read_defect_list(&mut self) -> Vec<DefectLocation> {
         self.counts.queries += 1;
-        self.now += self.diag_cost;
+        self.diag("read_defect_list");
         self.disk.geometry().defect_list()
     }
 
@@ -271,5 +288,34 @@ mod tests {
     fn revolution_from_mode_sense() {
         let mut s = scsi();
         assert_eq!(s.revolution().as_ns(), 6_000_000);
+    }
+
+    #[test]
+    fn diagnostic_commands_emit_trace_events() {
+        use sim_disk::trace::{MemorySink, Tracer};
+        use std::sync::{Arc, Mutex};
+
+        let sink = Arc::new(Mutex::new(MemorySink::new()));
+        let mut cfg = models::small_test_disk();
+        cfg.tracer = Some(Tracer::new(sink.clone()));
+        let mut s = ScsiDisk::new(Disk::new(cfg));
+        let _ = s.read_capacity();
+        let pba = s.translate_lbn(0);
+        let _ = s.translate_pba(pba);
+        let _ = s.read_at(0, 8);
+
+        let events = sink.lock().unwrap().take_events();
+        let kinds: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::ScsiCommand { kind, .. } => Some(kind.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kinds, ["read_capacity", "translate_lbn", "translate_pba"]);
+        // The media read flowed through the drive's own instrumentation.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Complete { .. })));
     }
 }

@@ -13,6 +13,7 @@ use crate::bus::BusConfig;
 use crate::cache::{CacheConfig, SegmentCache};
 use crate::geometry::{DiskGeometry, TrackId};
 use crate::mech::{SeekCurve, Spindle};
+use crate::trace::{TraceEvent, Tracer};
 use crate::{SimDur, SimTime};
 
 /// Full configuration of a simulated drive.
@@ -39,6 +40,11 @@ pub struct DiskConfig {
     pub bus: BusConfig,
     /// Firmware read cache.
     pub cache: CacheConfig,
+    /// Optional per-request event sink. Every drive built from this config
+    /// — including drives built internally by higher layers — reports its
+    /// mechanical events there. `None` (the presets' default) disables
+    /// tracing; the disabled path costs one branch per request.
+    pub tracer: Option<Tracer>,
 }
 
 /// A simulated disk drive.
@@ -58,6 +64,12 @@ pub struct Disk {
     /// Reused per-sector availability buffer (capacity persists across
     /// requests so the hot path stops allocating).
     avail_scratch: Vec<SimTime>,
+    /// Next request sequence number for trace events (monotonic for the
+    /// life of the drive, surviving [`Disk::reset`]).
+    req_seq: u64,
+    /// Reused trace-event buffer: a request's events are batched here and
+    /// delivered to the sink under one lock acquisition.
+    trace_scratch: Vec<TraceEvent>,
 }
 
 /// One mechanical stop during a request: a track (or a remapped sector's
@@ -68,6 +80,15 @@ struct Visit {
     head: u32,
     track: TrackId,
     slots: Vec<u32>,
+}
+
+/// Per-request tracing context threaded through the service path: the
+/// request's sequence number, whether tracing is on (checked before any
+/// event is constructed), and the batch buffer events accumulate in.
+struct Trace<'a> {
+    rid: u64,
+    on: bool,
+    events: &'a mut Vec<TraceEvent>,
 }
 
 impl Disk {
@@ -84,6 +105,8 @@ impl Disk {
             bus_free: SimTime::ZERO,
             last_issue: SimTime::ZERO,
             avail_scratch: Vec::new(),
+            req_seq: 0,
+            trace_scratch: Vec::new(),
         }
     }
 
@@ -118,6 +141,16 @@ impl Disk {
         self.cache.stats()
     }
 
+    /// Attaches (or, with `None`, detaches) a trace sink on a built drive.
+    pub fn set_tracer(&mut self, tracer: Option<Tracer>) {
+        self.config.tracer = tracer;
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.config.tracer.as_ref()
+    }
+
     /// Returns the drive to its power-on state (heads at cylinder 0, cache
     /// empty, clock rewound to zero).
     pub fn reset(&mut self) {
@@ -149,6 +182,24 @@ impl Disk {
             "commands must be issued in time order"
         );
         self.last_issue = issue;
+        let rid = self.req_seq;
+        self.req_seq += 1;
+
+        let tracing = self.config.tracer.is_some();
+        let mut events = if tracing {
+            std::mem::take(&mut self.trace_scratch)
+        } else {
+            Vec::new()
+        };
+        if tracing {
+            events.push(TraceEvent::Issue {
+                req: rid,
+                t: issue.as_ns(),
+                op: req.op,
+                lbn: req.lbn,
+                len: req.len,
+            });
+        }
 
         let mut breakdown = Breakdown {
             overhead: self.config.cmd_overhead,
@@ -156,14 +207,46 @@ impl Disk {
         };
         let cmd_ready = issue + self.config.cmd_overhead;
 
-        match req.op {
-            Op::Read => self.service_read(req, issue, cmd_ready, breakdown),
+        let trc = Trace {
+            rid,
+            on: tracing,
+            events: &mut events,
+        };
+        let completion = match req.op {
+            Op::Read => self.service_read(req, issue, cmd_ready, breakdown, trc),
             Op::Write => {
                 self.cache.invalidate(req.lbn, req.len);
                 breakdown.write_settle = self.config.write_settle;
-                self.service_write(req, issue, cmd_ready, breakdown)
+                self.service_write(req, issue, cmd_ready, breakdown, trc)
             }
+        };
+
+        if tracing {
+            let b = completion.breakdown;
+            events.push(TraceEvent::Complete {
+                req: rid,
+                t: completion.completion.as_ns(),
+                op: req.op,
+                lbn: req.lbn,
+                len: req.len,
+                cache_hit: completion.cache_hit,
+                queue: b.queue.as_ns(),
+                overhead: b.overhead.as_ns(),
+                seek: b.seek.as_ns(),
+                head_switch: b.head_switch.as_ns(),
+                rot_latency: b.rot_latency.as_ns(),
+                media: b.media.as_ns(),
+                bus: b.bus.as_ns(),
+                write_settle: b.write_settle.as_ns(),
+                response: completion.response_time().as_ns(),
+            });
+            if let Some(tracer) = &self.config.tracer {
+                tracer.record_all(&events);
+            }
+            events.clear();
+            self.trace_scratch = events;
         }
+        completion
     }
 
     fn service_read(
@@ -172,12 +255,29 @@ impl Disk {
         issue: SimTime,
         cmd_ready: SimTime,
         mut breakdown: Breakdown,
+        mut trc: Trace<'_>,
     ) -> Completion {
         if self.cache.lookup(req.lbn, req.len) {
             let bus_start = cmd_ready.max(self.bus_free);
             let end = bus_start + self.config.bus.transfer_time(req.bytes());
             self.bus_free = end;
             breakdown.bus = end - cmd_ready;
+            if trc.on {
+                trc.events.push(TraceEvent::CacheHit {
+                    req: trc.rid,
+                    t: cmd_ready.as_ns(),
+                    lbn: req.lbn,
+                    len: req.len,
+                });
+                if end > bus_start {
+                    trc.events.push(TraceEvent::Bus {
+                        req: trc.rid,
+                        t: bus_start.as_ns(),
+                        dur: (end - bus_start).as_ns(),
+                        bytes: req.bytes(),
+                    });
+                }
+            }
             return Completion {
                 request: req,
                 issue,
@@ -191,11 +291,25 @@ impl Disk {
 
         let visits = self.plan_visits(req.lbn, req.len);
         let pos_start = cmd_ready.max(self.actuator_free);
+        breakdown.queue = pos_start.since(cmd_ready);
+        if trc.on && breakdown.queue > SimDur::ZERO {
+            trc.events.push(TraceEvent::Queue {
+                req: trc.rid,
+                t: cmd_ready.as_ns(),
+                dur: breakdown.queue.as_ns(),
+            });
+        }
         // Availability instants are only consumed by finite-bus delivery
         // below; skip collecting them otherwise.
         let want_avail = !self.config.bus.is_infinite();
-        let (media_end, mut avail) =
-            self.run_visits(&visits, pos_start, None, want_avail, &mut breakdown);
+        let (media_end, mut avail) = self.run_visits(
+            &visits,
+            pos_start,
+            None,
+            want_avail,
+            &mut breakdown,
+            &mut trc,
+        );
         self.actuator_free = media_end;
 
         // Firmware read-ahead: the cache segment extends to the end of the
@@ -210,6 +324,14 @@ impl Disk {
             req.end()
         };
         self.cache.insert(req.lbn, seg_end);
+        if trc.on && self.config.cache.segments > 0 {
+            trc.events.push(TraceEvent::CacheFill {
+                req: trc.rid,
+                t: media_end.as_ns(),
+                start: req.lbn,
+                end: seg_end,
+            });
+        }
 
         // Bus delivery.
         let completion = if self.config.bus.is_infinite() {
@@ -235,6 +357,14 @@ impl Disk {
         self.avail_scratch = avail;
         self.bus_free = self.bus_free.max(completion);
         breakdown.bus = completion.saturating_since(media_end);
+        if trc.on && completion > media_end {
+            trc.events.push(TraceEvent::Bus {
+                req: trc.rid,
+                t: media_end.as_ns(),
+                dur: breakdown.bus.as_ns(),
+                bytes: req.bytes(),
+            });
+        }
 
         Completion {
             request: req,
@@ -253,6 +383,7 @@ impl Disk {
         issue: SimTime,
         cmd_ready: SimTime,
         mut breakdown: Breakdown,
+        mut trc: Trace<'_>,
     ) -> Completion {
         // Host data moves into the drive buffer over the bus, overlapping the
         // seek (§5.2 "Write performance").
@@ -262,17 +393,34 @@ impl Disk {
             let bus_start = cmd_ready.max(self.bus_free);
             let end = bus_start + self.config.bus.transfer_time(req.bytes());
             self.bus_free = end;
+            if trc.on && end > bus_start {
+                trc.events.push(TraceEvent::Bus {
+                    req: trc.rid,
+                    t: bus_start.as_ns(),
+                    dur: (end - bus_start).as_ns(),
+                    bytes: req.bytes(),
+                });
+            }
             end
         };
 
         let visits = self.plan_visits(req.lbn, req.len);
         let pos_start = cmd_ready.max(self.actuator_free);
+        breakdown.queue = pos_start.since(cmd_ready);
+        if trc.on && breakdown.queue > SimDur::ZERO {
+            trc.events.push(TraceEvent::Queue {
+                req: trc.rid,
+                t: cmd_ready.as_ns(),
+                dur: breakdown.queue.as_ns(),
+            });
+        }
         let (media_end, avail) = self.run_visits(
             &visits,
             pos_start,
             Some(all_buffered),
             false,
             &mut breakdown,
+            &mut trc,
         );
         self.avail_scratch = avail;
         self.actuator_free = media_end;
@@ -338,6 +486,7 @@ impl Disk {
         data_ready: Option<SimTime>,
         want_avail: bool,
         breakdown: &mut Breakdown,
+        trc: &mut Trace<'_>,
     ) -> (SimTime, Vec<SimTime>) {
         let geom = &self.config.geometry;
         let spindle = self.config.spindle;
@@ -351,9 +500,25 @@ impl Disk {
             let dist = v.cyl.abs_diff(cur_cyl);
             if dist > 0 {
                 let s = self.config.seek.seek_time(dist);
+                if trc.on {
+                    trc.events.push(TraceEvent::Seek {
+                        req: trc.rid,
+                        t: t.as_ns(),
+                        dur: s.as_ns(),
+                        from_cyl: cur_cyl,
+                        to_cyl: v.cyl,
+                    });
+                }
                 breakdown.seek += s;
                 t += s;
             } else if v.head != cur_head {
+                if trc.on {
+                    trc.events.push(TraceEvent::HeadSwitch {
+                        req: trc.rid,
+                        t: t.as_ns(),
+                        dur: self.config.head_switch.as_ns(),
+                    });
+                }
                 breakdown.head_switch += self.config.head_switch;
                 t += self.config.head_switch;
             }
@@ -364,8 +529,23 @@ impl Disk {
                 if let Some(ready) = data_ready {
                     // Write settle (once per command), then wait for buffered
                     // data if the bus is still feeding the drive.
+                    if trc.on && self.config.write_settle > SimDur::ZERO {
+                        trc.events.push(TraceEvent::Settle {
+                            req: trc.rid,
+                            t: t.as_ns(),
+                            dur: self.config.write_settle.as_ns(),
+                        });
+                    }
                     t += self.config.write_settle;
                     if ready > t {
+                        if trc.on {
+                            trc.events.push(TraceEvent::Bus {
+                                req: trc.rid,
+                                t: t.as_ns(),
+                                dur: (ready - t).as_ns(),
+                                bytes: 0,
+                            });
+                        }
                         breakdown.bus += ready - t;
                         t = ready;
                     }
@@ -438,6 +618,23 @@ impl Disk {
                     spindle.sweep(f64::from(span) * slot_frac),
                 )
             };
+            if trc.on {
+                if rot > SimDur::ZERO {
+                    trc.events.push(TraceEvent::RotWait {
+                        req: trc.rid,
+                        t: t.as_ns(),
+                        dur: rot.as_ns(),
+                        track: v.track.0,
+                    });
+                }
+                trc.events.push(TraceEvent::Media {
+                    req: trc.rid,
+                    t: (t + rot).as_ns(),
+                    dur: media.as_ns(),
+                    track: v.track.0,
+                    sectors: v.slots.len() as u64,
+                });
+            }
             breakdown.rot_latency += rot;
             breakdown.media += media;
             t = visit_end;
@@ -479,6 +676,7 @@ mod tests {
             zero_latency,
             bus,
             cache: CacheConfig::default(),
+            tracer: None,
         })
     }
 

@@ -31,6 +31,16 @@
 //! let done = disk.service(Request::new(Op::Read, 0, track_len), SimTime::ZERO);
 //! assert!(done.completion > SimTime::ZERO);
 //! ```
+//!
+//! # Observability
+//!
+//! Setting [`disk::DiskConfig::tracer`] streams typed [`trace::TraceEvent`]s
+//! for every mechanical phase of every request into a [`trace::TraceSink`]
+//! (a JSONL file, an in-memory buffer, a [`metrics::MetricsRegistry`], or
+//! any combination via [`trace::Fanout`]). With no tracer attached the
+//! entire subsystem costs one branch per request.
+
+#![warn(missing_docs)]
 
 pub mod bus;
 pub mod cache;
@@ -38,8 +48,10 @@ pub mod defects;
 pub mod disk;
 pub mod geometry;
 pub mod mech;
+pub mod metrics;
 pub mod models;
 pub mod request;
+pub mod trace;
 
 pub use disk::Disk;
 pub use geometry::{DiskGeometry, GeometrySpec, Pba, TrackId, ZoneSpec};

@@ -252,6 +252,7 @@ impl ModelSheet {
             zero_latency: self.zero_latency,
             bus: BusConfig::in_order(self.bus_mb_s),
             cache: CacheConfig::default(),
+            tracer: None,
         }
     }
 }
@@ -326,6 +327,7 @@ pub fn small_test_disk() -> DiskConfig {
         zero_latency: true,
         bus: BusConfig::in_order(160.0),
         cache: CacheConfig::default(),
+        tracer: None,
     }
 }
 

@@ -59,6 +59,9 @@ impl Request {
 /// Where each nanosecond of a request's service went.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct Breakdown {
+    /// Queueing: waiting for the mechanism to finish the previous command
+    /// (zero for a request issued against an idle drive).
+    pub queue: SimDur,
     /// Command processing overhead.
     pub overhead: SimDur,
     /// Arm movement (including any mid-request cylinder crossings).
@@ -76,9 +79,12 @@ pub struct Breakdown {
 }
 
 impl Breakdown {
-    /// Total of all components.
+    /// Total of all components, queueing included. Per request this equals
+    /// [`Completion::response_time`] up to the nanosecond-quantization
+    /// residual of per-phase rounding (typically well under 20 µs).
     pub fn total(&self) -> SimDur {
-        self.overhead
+        self.queue
+            + self.overhead
             + self.seek
             + self.head_switch
             + self.rot_latency
@@ -152,6 +158,7 @@ mod tests {
     #[test]
     fn breakdown_total_sums_components() {
         let b = Breakdown {
+            queue: SimDur::from_ns(8),
             overhead: SimDur::from_ns(1),
             seek: SimDur::from_ns(2),
             head_switch: SimDur::from_ns(3),
@@ -160,7 +167,7 @@ mod tests {
             bus: SimDur::from_ns(6),
             write_settle: SimDur::from_ns(7),
         };
-        assert_eq!(b.total().as_ns(), 28);
+        assert_eq!(b.total().as_ns(), 36);
         assert_eq!(b.positioning().as_ns(), 2 + 3 + 4 + 7);
     }
 
