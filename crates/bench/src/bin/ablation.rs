@@ -14,7 +14,12 @@ use sim_disk::models;
 use traxtent_bench::{header, row, row_string, Cli};
 use workloads::microbench::{run_random_io, Alignment, QueueDepth, RandomIoSpec};
 
-fn reductions(cfg: &DiskConfig, count: usize, seed: u64) -> (f64, f64) {
+fn reductions(
+    cfg: &DiskConfig,
+    count: usize,
+    seed: u64,
+    reg: &traxtent::obs::Registry,
+) -> (f64, f64) {
     let mut disk = Disk::new(cfg.clone());
     let track = cfg.geometry.track(0).lbn_count() as u64;
     let mut head = |alignment, queue| {
@@ -23,9 +28,9 @@ fn reductions(cfg: &DiskConfig, count: usize, seed: u64) -> (f64, f64) {
             seed,
             ..RandomIoSpec::reads(track, alignment, queue)
         };
-        run_random_io(&mut disk, &spec)
-            .mean_head_time(queue)
-            .as_millis_f64()
+        let r = run_random_io(&mut disk, &spec);
+        r.export_metrics(reg, queue);
+        r.mean_head_time(queue).as_millis_f64()
     };
     let one = 1.0
         - head(Alignment::TrackAligned, QueueDepth::One)
@@ -39,6 +44,8 @@ fn reductions(cfg: &DiskConfig, count: usize, seed: u64) -> (f64, f64) {
 fn main() {
     let cli = Cli::parse();
     let probe = cli.probe();
+    let reg = traxtent::obs::Registry::new();
+    let mut rec = cli.recorder("ablation");
     let count = if cli.quick { 400 } else { 2000 };
     let pool = cli.executor();
 
@@ -65,18 +72,22 @@ fn main() {
                 .map(|&(_, pap)| (sheet, pap))
         })
         .collect();
-    let lines = pool.run(sheets, |_, (sheet, pap)| {
+    let results = pool.run(sheets, |_, (sheet, pap)| {
         let cfg = probe.wrap(sheet.build());
-        let (one, two) = reductions(&cfg, count, cli.seed);
-        row_string([
+        let (one, two) = reductions(&cfg, count, cli.seed, &reg);
+        let line = row_string([
             sheet.name.to_string(),
             sheet.zero_latency.to_string(),
             format!("{one:.0}%"),
             format!("{two:.0}%"),
             pap.to_string(),
-        ])
+        ]);
+        (line, sheet.name, one, two)
     });
-    for line in lines {
+    for (line, name, one, two) in results {
+        let stem = name.to_lowercase().replace([' ', '-'], "_");
+        rec.headline(&format!("onereq_pct_{stem}"), one);
+        rec.headline(&format!("tworeq_pct_{stem}"), two);
         println!("{line}");
     }
 
@@ -85,21 +96,26 @@ fn main() {
     let configs = vec![
         (
             "stock (zero-latency on)",
+            "stock",
             probe.wrap(models::quantum_atlas_10k_ii()),
         ),
         (
             "zero-latency disabled",
+            "no_zl",
             probe.wrap(DiskConfig {
                 zero_latency: false,
                 ..models::quantum_atlas_10k_ii()
             }),
         ),
     ];
-    let lines = pool.run(configs, |_, (label, cfg)| {
-        let (one, two) = reductions(&cfg, count, cli.seed);
-        row_string([label.into(), format!("{one:.0}%"), format!("{two:.0}%")])
+    let results = pool.run(configs, |_, (label, key, cfg)| {
+        let (one, two) = reductions(&cfg, count, cli.seed, &reg);
+        let line = row_string([label.into(), format!("{one:.0}%"), format!("{two:.0}%")]);
+        (line, key, one, two)
     });
-    for line in lines {
+    for (line, key, one, two) in results {
+        rec.headline(&format!("onereq_pct_{key}"), one);
+        rec.headline(&format!("tworeq_pct_{key}"), two);
         println!("{line}");
     }
     println!(
@@ -107,4 +123,5 @@ fn main() {
          confirming §2.2's claim that the two mechanisms together make the track the sweet spot"
     );
     probe.finish();
+    rec.finish(&reg);
 }

@@ -1,0 +1,60 @@
+//! Compares two manifest directories and fails on regressions.
+//!
+//! ```text
+//! bench_diff results/baseline results/manifest
+//! bench_diff results/baseline results/manifest --tol 0.05 --wall-tol 2.0
+//! ```
+//!
+//! Every figure present in the baseline must appear in the current run with
+//! each headline value within `--tol` (relative). Wall time is reported but
+//! only judged when `--wall-tol` is given (relative increase). Exits 0 when
+//! everything is within tolerance, 1 on any regression, 2 on usage errors.
+
+use traxtent_bench::diff::{diff_dirs, Tolerances};
+
+fn usage(name: &str) -> ! {
+    eprintln!("usage: {name} <baseline_dir> <current_dir> [--tol <frac>] [--wall-tol <frac>]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let name = std::env::args()
+        .next()
+        .unwrap_or_else(|| "bench_diff".into());
+    let mut dirs: Vec<String> = Vec::new();
+    let mut tol = Tolerances::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--tol" => {
+                tol.headline_rel = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage(&name));
+            }
+            "--wall-tol" => {
+                tol.wall_rel = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage(&name)),
+                );
+            }
+            _ if !a.starts_with('-') && dirs.len() < 2 => dirs.push(a),
+            _ => usage(&name),
+        }
+    }
+    let [baseline, current] = dirs.as_slice() else {
+        usage(&name);
+    };
+
+    match diff_dirs(baseline.as_ref(), current.as_ref(), &tol) {
+        Ok(report) => {
+            print!("{}", report.render());
+            std::process::exit(if report.passed() { 0 } else { 1 });
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

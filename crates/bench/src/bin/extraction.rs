@@ -74,6 +74,8 @@ fn apply(variant: &Variant, cfg: DiskConfig) -> DiskConfig {
 fn main() {
     let cli = Cli::parse_with(&["--full"]);
     let probe = cli.probe();
+    let reg = traxtent::obs::Registry::new();
+    let mut rec = cli.recorder("extraction");
 
     header("§4.1: track-boundary extraction");
     row([
@@ -95,7 +97,7 @@ fn main() {
         jobs.push(Job::AtlasGeneral);
     }
 
-    let lines = cli.executor().run(jobs, |_, job| match job {
+    let results = cli.executor().run(jobs, |_, job| match job {
         Job::SmallGeneral(v) => {
             let disk = Disk::new(probe.wrap(apply(&v, models::small_test_disk())));
             let truth = ground_truth(&disk);
@@ -105,28 +107,34 @@ fn main() {
                 ..GeneralConfig::default()
             };
             let g = extract_general(&mut s, &gcfg);
-            row_string([
+            g.export_metrics(&reg);
+            let exact = g.boundaries == truth;
+            let line = row_string([
                 "SimTest".into(),
                 v.0.into(),
                 "general (timing)".into(),
-                (g.boundaries == truth).to_string(),
+                exact.to_string(),
                 format!("{:.1} probes/track", g.probes_per_track),
                 format!("{:.1} s", g.elapsed.as_secs_f64()),
-            ])
+            ]);
+            (line, exact, None)
         }
         Job::SmallScsi(v) => {
             let disk = Disk::new(probe.wrap(apply(&v, models::small_test_disk())));
             let truth = ground_truth(&disk);
             let mut s = ScsiDisk::new(disk);
             let r = extract_scsi(&mut s);
-            row_string([
+            r.export_metrics(&reg);
+            let exact = r.boundaries == truth;
+            let line = row_string([
                 "SimTest".into(),
                 v.0.into(),
                 format!("scsi ({:?}, {:?})", r.scheme, r.policy),
-                (r.boundaries == truth).to_string(),
+                exact.to_string(),
                 format!("{:.2} translations/track", r.translations_per_track),
                 format!("{:.1} s", s.elapsed().as_secs_f64()),
-            ])
+            ]);
+            (line, exact, None)
         }
         Job::AtlasScsi => {
             // The full Atlas 10K II with the SCSI algorithm (paper: < 1
@@ -136,35 +144,50 @@ fn main() {
             let truth = ground_truth(&disk);
             let mut s = ScsiDisk::new(disk);
             let r = extract_scsi(&mut s);
-            row_string([
+            r.export_metrics(&reg);
+            let exact = r.boundaries == truth;
+            let line = row_string([
                 "Atlas 10K II".into(),
                 "pristine".into(),
                 "scsi".into(),
-                (r.boundaries == truth).to_string(),
+                exact.to_string(),
                 format!(
                     "{:.2} translations/track ({} total)",
                     r.translations_per_track, r.translations
                 ),
                 format!("{:.1} s", s.elapsed().as_secs_f64()),
-            ])
+            ]);
+            (line, exact, Some(r.translations_per_track))
         }
         Job::AtlasGeneral => {
             let disk = Disk::new(probe.wrap(models::quantum_atlas_10k_ii()));
             let truth = ground_truth(&disk);
             let mut s = ScsiDisk::new(disk);
             let g = extract_general(&mut s, &GeneralConfig::default());
-            row_string([
+            g.export_metrics(&reg);
+            let exact = g.boundaries == truth;
+            let line = row_string([
                 "Atlas 10K II".into(),
                 "pristine".into(),
                 "general (timing)".into(),
-                (g.boundaries == truth).to_string(),
+                exact.to_string(),
                 format!("{:.1} probes/track", g.probes_per_track),
                 format!("{:.0} s (paper: hours)", g.elapsed.as_secs_f64()),
-            ])
+            ]);
+            (line, exact, None)
         }
     });
-    for line in lines {
+    let mut exact_runs = 0usize;
+    let total_runs = results.len();
+    for (line, exact, atlas_tpt) in results {
+        exact_runs += usize::from(exact);
+        if let Some(tpt) = atlas_tpt {
+            rec.headline("atlas_scsi_translations_per_track", tpt);
+        }
         println!("{line}");
     }
+    rec.headline("exact_runs", exact_runs as f64);
+    rec.headline("total_runs", total_runs as f64);
     probe.finish();
+    rec.finish(&reg);
 }

@@ -16,6 +16,8 @@ use workloads::microbench::{run_random_io, Alignment, QueueDepth, RandomIoSpec};
 fn main() {
     let cli = Cli::parse();
     let probe = cli.probe();
+    let reg = traxtent::obs::Registry::new();
+    let mut rec = cli.recorder("fig1");
     let count = if cli.quick { 300 } else { 2000 };
     let cfg = probe.wrap(models::quantum_atlas_10k_ii());
     let track = cfg.geometry.track(0).lbn_count() as u64; // 528 sectors
@@ -52,30 +54,44 @@ fn main() {
             seed: cli.seed,
             ..RandomIoSpec::reads(io, alignment, QueueDepth::Two)
         };
-        run_random_io(&mut Disk::new(cfg.clone()), &spec).efficiency(QueueDepth::Two)
+        let r = run_random_io(&mut Disk::new(cfg.clone()), &spec);
+        r.export_metrics(&reg, QueueDepth::Two);
+        r.efficiency(QueueDepth::Two)
     };
 
     let mut jobs: Vec<Option<u64>> = sizes.into_iter().map(Some).collect();
     jobs.push(None); // Point A
-    let lines = cli.executor().run(jobs, |_, job| match job {
-        Some(io) => row_string([
-            format!("{}", io * 512 / 1024),
-            format!("{:.3}", measure(io, Alignment::TrackAligned)),
-            format!("{:.3}", measure(io, Alignment::Unaligned)),
-            format!("{:.3}", params.aligned_efficiency(io)),
-            format!("{:.3}", params.unaligned_efficiency(io)),
-        ]),
+    let results = cli.executor().run(jobs, |_, job| match job {
+        Some(io) => {
+            let aligned = measure(io, Alignment::TrackAligned);
+            let unaligned = measure(io, Alignment::Unaligned);
+            let line = row_string([
+                format!("{}", io * 512 / 1024),
+                format!("{aligned:.3}"),
+                format!("{unaligned:.3}"),
+                format!("{:.3}", params.aligned_efficiency(io)),
+                format!("{:.3}", params.unaligned_efficiency(io)),
+            ]);
+            (line, (io == track).then_some((aligned, unaligned)))
+        }
         None => {
             let a = measure(track, Alignment::TrackAligned);
-            format!(
+            let line = format!(
                 "Point A: track-aligned @ 1 track = {:.3} ({:.0}% of max; paper: 0.73, 82%)",
                 a,
                 100.0 * a / params.max_streaming_efficiency()
-            )
+            );
+            (line, None)
         }
     });
-    for line in lines {
+    rec.headline("max_streaming_eff", params.max_streaming_efficiency());
+    for (line, at_track) in results {
+        if let Some((aligned, unaligned)) = at_track {
+            rec.headline("aligned_eff_at_track", aligned);
+            rec.headline("unaligned_eff_at_track", unaligned);
+        }
         println!("{line}");
     }
     probe.finish();
+    rec.finish(&reg);
 }

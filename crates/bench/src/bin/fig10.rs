@@ -5,7 +5,7 @@
 //! `WriteCost` comes from the cleaner simulator under the hot/cold update
 //! stream; `TransferInefficiency` is measured on the simulated drive.
 
-use lfs::cleaner::{write_cost_fixed, LfsConfig};
+use lfs::cleaner::{LfsConfig, LfsSim};
 use lfs::transfer_inefficiency;
 use sim_disk::models;
 use traxtent::model::matthews_transfer_inefficiency;
@@ -14,6 +14,8 @@ use traxtent_bench::{header, row, row_string, Cli};
 fn main() {
     let cli = Cli::parse();
     let probe = cli.probe();
+    let reg = traxtent::obs::Registry::new();
+    let mut rec = cli.recorder("fig10");
     let (ti_samples, updates, capacity) = if cli.quick {
         (120, 40_000, 1 << 16)
     } else {
@@ -47,7 +49,9 @@ fn main() {
         // capacity so every point reaches cleaning steady state.
         let cap = capacity.max(sectors * 32);
         let upd = updates.max(cap * 2);
-        let wc = write_cost_fixed(cap, sectors, upd, lfs_cfg);
+        let mut sim = LfsSim::fixed(cap, sectors, lfs_cfg);
+        let wc = sim.run_updates(upd).write_cost();
+        sim.export_metrics(&reg);
         let ti_a = transfer_inefficiency(&cfg, sectors, true, ti_samples, cli.seed);
         let ti_u = transfer_inefficiency(&cfg, sectors, false, ti_samples, cli.seed);
         let model = matthews_transfer_inefficiency(5.2e-3, 40e6, sectors as f64 * 512.0);
@@ -77,5 +81,8 @@ fn main() {
         at_track.1,
         100.0 * (1.0 - at_track.0 / at_track.1)
     );
+    rec.headline("owc_aligned_at_track", at_track.0);
+    rec.headline("owc_unaligned_at_track", at_track.1);
     probe.finish();
+    rec.finish(&reg);
 }

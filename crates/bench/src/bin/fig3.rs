@@ -12,6 +12,8 @@ use workloads::microbench::{run_random_io, Alignment, QueueDepth, RandomIoSpec};
 fn main() {
     let cli = Cli::parse();
     let probe = cli.probe();
+    let reg = traxtent::obs::Registry::new();
+    let mut rec = cli.recorder("fig3");
     let count = if cli.quick { 200 } else { 1500 };
     let cfg = probe.wrap(models::quantum_atlas_10k_ii());
     let rev_ms = cfg.spindle.revolution().as_millis_f64();
@@ -25,7 +27,7 @@ fn main() {
         "ordinary_model_ms".into(),
         "ordinary_sim_ms".into(),
     ]);
-    let lines = cli
+    let results = cli
         .executor()
         .run(vec![5u32, 10, 25, 50, 75, 90, 100], |_, pct| {
             let sectors = (u64::from(spt) * u64::from(pct) / 100).max(1);
@@ -45,20 +47,29 @@ fn main() {
                     ..RandomIoSpec::reads(sectors, Alignment::TrackAligned, QueueDepth::One)
                 };
                 let r = run_random_io(&mut disk, &spec);
+                r.export_metrics(&reg, QueueDepth::One);
                 r.mean_component_ms(|c| c.breakdown.rot_latency)
                     + r.mean_component_ms(|c| c.breakdown.media)
                     - f * rev_ms
             };
-            row_string([
+            let zl = sim(true);
+            let ordinary = sim(false);
+            let line = row_string([
                 pct.to_string(),
                 format!("{:.2}", model::zero_latency_rot_latency_revs(f) * rev_ms),
-                format!("{:.2}", sim(true)),
+                format!("{zl:.2}"),
                 format!("{:.2}", model::ordinary_rot_latency_revs(spt) * rev_ms),
-                format!("{:.2}", sim(false)),
-            ])
+                format!("{ordinary:.2}"),
+            ]);
+            (line, (pct == 100).then_some((zl, ordinary)))
         });
-    for line in lines {
+    for (line, at_track) in results {
+        if let Some((zl, ordinary)) = at_track {
+            rec.headline("zero_latency_ms_at_track", zl);
+            rec.headline("ordinary_ms_at_track", ordinary);
+        }
         println!("{line}");
     }
     probe.finish();
+    rec.finish(&reg);
 }

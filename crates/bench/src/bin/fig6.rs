@@ -24,6 +24,8 @@ fn main() {
     let cli = Cli::parse_with(&["--writes"]);
     let writes = cli.has("--writes");
     let probe = cli.probe();
+    let reg = traxtent::obs::Registry::new();
+    let mut rec = cli.recorder(if writes { "fig6_writes" } else { "fig6" });
     let count = if cli.quick { 300 } else { 2000 };
     let cfg = probe.wrap(models::quantum_atlas_10k_ii());
     let track = cfg.geometry.track(0).lbn_count() as u64;
@@ -67,25 +69,30 @@ fn main() {
                 seed: cli.seed,
                 ..RandomIoSpec::reads(sectors, alignment, queue)
             };
-            format!(
-                "{:.2}",
-                run_random_io(&mut disk, &spec)
-                    .mean_head_time(queue)
-                    .as_millis_f64()
-            )
+            let r = run_random_io(&mut disk, &spec);
+            r.export_metrics(&reg, queue);
+            let ms = r.mean_head_time(queue).as_millis_f64();
+            (format!("{ms:.2}"), ms)
         });
 
     for (i, pct) in PCTS.iter().enumerate() {
         let r = &cells[i * CELLS.len()..(i + 1) * CELLS.len()];
         row([
             pct.to_string(),
-            r[0].clone(),
-            r[1].clone(),
-            r[2].clone(),
-            r[3].clone(),
-            r[4].clone(),
+            r[0].0.clone(),
+            r[1].0.clone(),
+            r[2].0.clone(),
+            r[3].0.clone(),
+            r[4].0.clone(),
         ]);
     }
+    // Headlines: the track-sized (100 %) row, the values the paper quotes.
+    let track_row = &cells[(PCTS.len() - 1) * CELLS.len()..];
+    rec.headline("onereq_unaligned_ms", track_row[0].1);
+    rec.headline("onereq_aligned_ms", track_row[1].1);
+    rec.headline("tworeq_unaligned_ms", track_row[2].1);
+    rec.headline("tworeq_aligned_ms", track_row[3].1);
+    rec.headline("zero_bus_onereq_aligned_ms", track_row[4].1);
     if !writes {
         println!(
             "paper: track-sized reads — onereq ≈ 9.2 ms aligned, tworeq ≈ 8.3 ms aligned \
@@ -95,4 +102,5 @@ fn main() {
         println!("paper: track-sized writes — onereq 10.0 vs 13.9 ms, tworeq 10.2 vs 13.8 ms");
     }
     probe.finish();
+    rec.finish(&reg);
 }

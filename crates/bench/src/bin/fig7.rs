@@ -11,6 +11,8 @@ use workloads::microbench::{run_random_io, Alignment, QueueDepth, RandomIoSpec};
 fn main() {
     let cli = Cli::parse();
     let probe = cli.probe();
+    let reg = traxtent::obs::Registry::new();
+    let mut rec = cli.recorder("fig7");
     let count = if cli.quick { 300 } else { 2000 };
     let cfg = probe.wrap(models::quantum_atlas_10k_ii());
     let track = cfg.geometry.track(0).lbn_count() as u64;
@@ -24,14 +26,29 @@ fn main() {
         "total_response".into(),
     ]);
 
-    let accesses: Vec<(&str, bool, Alignment)> = vec![
-        ("normal (unaligned)", false, Alignment::Unaligned),
-        ("track-aligned", false, Alignment::TrackAligned),
-        ("aligned + out-of-order bus", true, Alignment::TrackAligned),
+    let accesses: Vec<(&str, &str, bool, Alignment)> = vec![
+        (
+            "normal (unaligned)",
+            "normal_ms",
+            false,
+            Alignment::Unaligned,
+        ),
+        (
+            "track-aligned",
+            "aligned_ms",
+            false,
+            Alignment::TrackAligned,
+        ),
+        (
+            "aligned + out-of-order bus",
+            "ooo_bus_ms",
+            true,
+            Alignment::TrackAligned,
+        ),
     ];
-    let lines = cli
+    let results = cli
         .executor()
-        .run(accesses, |_, (label, ooo_bus, alignment)| {
+        .run(accesses, |_, (label, key, ooo_bus, alignment)| {
             let mut disk = if ooo_bus {
                 Disk::new(DiskConfig {
                     bus: BusConfig::out_of_order(160.0),
@@ -46,20 +63,24 @@ fn main() {
                 ..RandomIoSpec::reads(track, alignment, QueueDepth::One)
             };
             let r = run_random_io(&mut disk, &spec);
+            r.export_metrics(&reg, QueueDepth::One);
             let seek = r.mean_component_ms(|c| c.breakdown.seek);
             let mid = r.mean_component_ms(|c| c.breakdown.rot_latency)
                 + r.mean_component_ms(|c| c.breakdown.head_switch)
                 + r.mean_component_ms(|c| c.breakdown.media);
             let bus = r.mean_component_ms(|c| c.breakdown.bus);
-            row_string([
+            let response = r.mean_response().as_millis_f64();
+            let line = row_string([
                 label.to_string(),
                 format!("{seek:.2}"),
                 format!("{mid:.2}"),
                 format!("{bus:.2}"),
-                format!("{:.2}", r.mean_response().as_millis_f64()),
-            ])
+                format!("{response:.2}"),
+            ]);
+            (line, key, response)
         });
-    for line in lines {
+    for (line, key, response) in results {
+        rec.headline(key, response);
         println!("{line}");
     }
 
@@ -67,4 +88,5 @@ fn main() {
         "paper: normal ≈ 12.0 ms; aligned ≈ 9.2 ms; out-of-order delivery overlaps the bus tail"
     );
     probe.finish();
+    rec.finish(&reg);
 }

@@ -13,6 +13,8 @@ const PCTS: [u64; 6] = [2, 10, 25, 50, 75, 100];
 fn main() {
     let cli = Cli::parse();
     let probe = cli.probe();
+    let reg = traxtent::obs::Registry::new();
+    let mut rec = cli.recorder("fig8");
     let count = if cli.quick { 400 } else { 3000 };
     let cfg = probe.wrap(DiskConfig {
         bus: BusConfig::infinite(),
@@ -42,6 +44,7 @@ fn main() {
             ..RandomIoSpec::reads(sectors, alignment, QueueDepth::One)
         };
         let r = run_random_io(&mut Disk::new(cfg.clone()), &spec);
+        r.export_metrics(&reg, QueueDepth::One);
         (r.mean_response().as_millis_f64(), r.response_std_dev_ms())
     });
 
@@ -56,6 +59,13 @@ fn main() {
             format!("{usd:.2}"),
         ]);
     }
+    let (am, asd) = cells[cells.len() - 2];
+    let (um, usd) = cells[cells.len() - 1];
+    rec.headline("aligned_mean_ms_at_track", am);
+    rec.headline("aligned_sigma_ms_at_track", asd);
+    rec.headline("unaligned_mean_ms_at_track", um);
+    rec.headline("unaligned_sigma_ms_at_track", usd);
     println!("paper: σ_aligned falls to ≈ 0.4 ms at track size (pure seek variance); σ_unaligned stays ≈ 1.5 ms");
     probe.finish();
+    rec.finish(&reg);
 }

@@ -11,29 +11,34 @@ use videoserver::{hard, soft, ServerConfig};
 fn main() {
     let cli = Cli::parse_with(&["--hard"]);
     let probe = cli.probe();
+    let reg = traxtent::obs::Registry::new();
     let cfg = probe.wrap(models::quantum_atlas_10k_ii());
     let track = cfg.geometry.track(0).lbn_count() as u64;
 
     if cli.has("--hard") {
+        let mut rec = cli.recorder("fig9_hard");
         header("§5.4.2: hard real-time streams per disk (4 Mb/s)");
         row(["io_size".into(), "unaligned".into(), "track-aligned".into()]);
-        let lines = cli.executor().run(
-            vec![("264 KB", track), ("528 KB", 2 * track)],
-            |_, (label, io)| {
-                row_string([
-                    label.into(),
-                    hard::max_streams(&cfg, 4.0, io, false).to_string(),
-                    hard::max_streams(&cfg, 4.0, io, true).to_string(),
-                ])
+        let results = cli.executor().run(
+            vec![("264 KB", "264kb", track), ("528 KB", "528kb", 2 * track)],
+            |_, (label, key, io)| {
+                let unaligned = hard::max_streams(&cfg, 4.0, io, false);
+                let aligned = hard::max_streams(&cfg, 4.0, io, true);
+                let line = row_string([label.into(), unaligned.to_string(), aligned.to_string()]);
+                (line, key, unaligned, aligned)
             },
         );
-        for line in lines {
+        for (line, key, unaligned, aligned) in results {
+            rec.headline(&format!("unaligned_streams_{key}"), unaligned as f64);
+            rec.headline(&format!("aligned_streams_{key}"), aligned as f64);
             println!("{line}");
         }
         println!("paper: 264 KB → 36 vs 67; 528 KB → 52 vs 75");
         probe.finish();
+        rec.finish(&reg);
         return;
     }
+    let mut rec = cli.recorder("fig9");
 
     let (rounds, quantile) = if cli.quick { (60, 0.98) } else { (400, 0.9999) };
     header("Figure 9: startup latency vs concurrent streams (10-disk array)");
@@ -65,10 +70,13 @@ fn main() {
             ..Default::default()
         };
         match soft::operating_point(&cfg, &server, v) {
-            Some(p) => (
-                format!("{}", p.io_sectors * 512 / 1024),
-                format!("{:.2}", p.startup_latency.as_secs_f64()),
-            ),
+            Some(p) => {
+                p.measurement.export_metrics(&reg);
+                (
+                    format!("{}", p.io_sectors * 512 / 1024),
+                    format!("{:.2}", p.startup_latency.as_secs_f64()),
+                )
+            }
             None => ("-".into(), "unsupportable".into()),
         }
     });
@@ -94,5 +102,8 @@ fn main() {
         "at a 0.5 s round with track-sized I/Os: aligned {} vs unaligned {} streams/disk (paper: 70 vs 45)",
         counts[0], counts[1]
     );
+    rec.headline("aligned_streams_at_half_s_round", counts[0] as f64);
+    rec.headline("unaligned_streams_at_half_s_round", counts[1] as f64);
     probe.finish();
+    rec.finish(&reg);
 }

@@ -7,6 +7,8 @@ use traxtent_bench::{header, row, row_string, Cli};
 fn main() {
     let cli = Cli::parse();
     let probe = cli.probe();
+    let reg = traxtent::obs::Registry::new();
+    let mut rec = cli.recorder("table1");
     header("Table 1: representative disk characteristics");
     row([
         "Disk".into(),
@@ -21,10 +23,15 @@ fn main() {
     ]);
     // Building a full geometry is the expensive part; build each sheet's in
     // its own job.
-    let lines = cli.executor().run(models::table1_sheets(), |_, sheet| {
+    let results = cli.executor().run(models::table1_sheets(), |_, sheet| {
         let cfg = probe.wrap(sheet.build());
         let built_gb = cfg.geometry.capacity_lbns() as f64 * 512.0 / 1e9;
-        row_string([
+        reg.add("bench.table1.drives_built", 1);
+        reg.add(
+            "bench.table1.tracks_built",
+            cfg.geometry.num_tracks() as u64,
+        );
+        let line = row_string([
             sheet.name.to_string(),
             sheet.year.to_string(),
             sheet.rpm.to_string(),
@@ -34,10 +41,15 @@ fn main() {
             cfg.geometry.num_tracks().to_string(),
             format!("{:.1} GB", sheet.capacity_gb),
             format!("{built_gb:.1}"),
-        ])
+        ]);
+        (line, built_gb)
     });
-    for line in lines {
+    let mut total_gb = 0.0;
+    for (line, built_gb) in results {
+        total_gb += built_gb;
         println!("{line}");
     }
+    rec.headline("total_built_gb", total_gb);
     probe.finish();
+    rec.finish(&reg);
 }

@@ -20,9 +20,21 @@ const PERSONALITIES: [Personality; 3] = [
     Personality::Traxtent,
 ];
 
+/// Manifest key stems for the six applications, in column order.
+const APP_KEYS: [&str; APPS] = [
+    "scan_s",
+    "diff_s",
+    "copy_s",
+    "postmark_tps",
+    "ssh_build_s",
+    "head_star_s",
+];
+
 fn main() {
     let cli = Cli::parse();
     let probe = cli.probe();
+    let reg = traxtent::obs::Registry::new();
+    let mut rec = cli.recorder("table2");
     let scale = if cli.quick { 8 } else { 1 };
     let (scan_bytes, diff_bytes, copy_bytes) = (4 * GB / scale, 512 * MB / scale, GB / scale);
     let (pm_files, pm_tx) = if cli.quick { (120, 400) } else { (500, 2000) };
@@ -47,51 +59,62 @@ fn main() {
         .collect();
     let cells = cli.executor().run(jobs, |_, (p, app)| {
         let mut fs = FileSystem::format(Disk::new(probe.wrap(models::quantum_atlas_10k())), p);
-        match app {
-            0 => format!(
-                "{:.1}",
-                apps::scan(&mut fs, scan_bytes, 64 * 1024)
-                    .elapsed
-                    .as_secs_f64()
-            ),
-            1 => format!(
-                "{:.1}",
-                apps::diff(&mut fs, diff_bytes, 64 * 1024)
-                    .elapsed
-                    .as_secs_f64()
-            ),
-            2 => format!(
-                "{:.1}",
-                apps::copy(&mut fs, copy_bytes, 64 * 1024)
-                    .elapsed
-                    .as_secs_f64()
-            ),
-            3 => {
-                let (_, tps) = apps::postmark(&mut fs, pm_files, pm_tx, cli.seed);
-                format!("{tps:.0}")
+        let name = APP_KEYS[app].rsplit_once('_').expect("stem_unit").0;
+        let (text, value) = match app {
+            0 => {
+                let r = apps::scan(&mut fs, scan_bytes, 64 * 1024);
+                r.export_metrics(&reg, name);
+                let s = r.elapsed.as_secs_f64();
+                (format!("{s:.1}"), s)
             }
-            4 => format!(
-                "{:.1}",
-                apps::ssh_build(&mut fs, cli.seed).elapsed.as_secs_f64()
-            ),
-            _ => format!(
-                "{:.1}",
-                apps::head_star(&mut fs, head_files, 200 * 1024)
-                    .elapsed
-                    .as_secs_f64()
-            ),
-        }
+            1 => {
+                let r = apps::diff(&mut fs, diff_bytes, 64 * 1024);
+                r.export_metrics(&reg, name);
+                let s = r.elapsed.as_secs_f64();
+                (format!("{s:.1}"), s)
+            }
+            2 => {
+                let r = apps::copy(&mut fs, copy_bytes, 64 * 1024);
+                r.export_metrics(&reg, name);
+                let s = r.elapsed.as_secs_f64();
+                (format!("{s:.1}"), s)
+            }
+            3 => {
+                let (r, tps) = apps::postmark(&mut fs, pm_files, pm_tx, cli.seed);
+                r.export_metrics(&reg, name);
+                (format!("{tps:.0}"), tps)
+            }
+            4 => {
+                let r = apps::ssh_build(&mut fs, cli.seed);
+                r.export_metrics(&reg, name);
+                let s = r.elapsed.as_secs_f64();
+                (format!("{s:.1}"), s)
+            }
+            _ => {
+                let r = apps::head_star(&mut fs, head_files, 200 * 1024);
+                r.export_metrics(&reg, name);
+                let s = r.elapsed.as_secs_f64();
+                (format!("{s:.1}"), s)
+            }
+        };
+        fs.export_metrics(&reg);
+        (text, value)
     });
 
     for (i, p) in PERSONALITIES.iter().enumerate() {
         let r = &cells[i * APPS..(i + 1) * APPS];
         let mut cols = vec![format!("{p:?}")];
-        cols.extend(r.iter().cloned());
+        cols.extend(r.iter().map(|(text, _)| text.clone()));
         row(cols);
+        let personality = format!("{p:?}").to_lowercase();
+        for (key, (_, value)) in APP_KEYS.iter().zip(r) {
+            rec.headline(&format!("{key}_{personality}"), *value);
+        }
     }
     println!(
         "paper (unmodified / fast start / traxtents): scan 189.6/188.9/199.8, diff 69.7/70.0/56.6, \
          copy 156.9/155.3/124.9, Postmark 53/53/55, SSH-build 72.0/71.5/71.5, head* 4.6/5.5/5.2"
     );
     probe.finish();
+    rec.finish(&reg);
 }

@@ -51,6 +51,9 @@ fn main() {
     let mut registry = MetricsRegistry::new();
     let mut completes: Vec<TraceEvent> = Vec::new();
     let mut scsi: BTreeMap<String, u64> = BTreeMap::new();
+    // An unparseable line means the producing run was interrupted mid-write
+    // (a truncated tail, not a corrupt file): report everything before it.
+    let mut truncated_at: Option<usize> = None;
     for (i, line) in std::io::BufReader::new(file).lines().enumerate() {
         let line = line.unwrap_or_else(|e| {
             eprintln!("error: read failure at line {}: {e}", i + 1);
@@ -59,10 +62,13 @@ fn main() {
         if line.trim().is_empty() {
             continue;
         }
-        let event = TraceEvent::parse_json(&line).unwrap_or_else(|e| {
-            eprintln!("error: line {} is not a trace event: {e}", i + 1);
-            std::process::exit(1);
-        });
+        let event = match TraceEvent::parse_json(&line) {
+            Ok(event) => event,
+            Err(_) => {
+                truncated_at = Some(i + 1);
+                break;
+            }
+        };
         *census.entry(event.name()).or_insert(0) += 1;
         match &event {
             TraceEvent::Complete { .. } => {
@@ -76,7 +82,23 @@ fn main() {
         }
     }
 
+    if census.is_empty() {
+        match truncated_at {
+            Some(line_no) => {
+                println!("trace `{path}` holds no usable events (truncated at line {line_no})")
+            }
+            None => println!("trace `{path}` is empty: nothing to report"),
+        }
+        return;
+    }
+
     println!("# Trace report: {path}");
+    if let Some(line_no) = truncated_at {
+        let events: u64 = census.values().sum();
+        println!(
+            "note: trace truncated at line {line_no}; reporting the {events} events before it"
+        );
+    }
     println!("## Event census");
     for (name, count) in &census {
         println!("{name:<12} {count:>10}");

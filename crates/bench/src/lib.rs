@@ -22,7 +22,11 @@
 //! across a worker pool (see [`exec`]); output is byte-identical at any
 //! thread count because results are merged back in submission order.
 
+#![warn(missing_docs)]
+
+pub mod diff;
 pub mod exec;
+pub mod manifest;
 
 use sim_disk::disk::DiskConfig;
 use sim_disk::metrics::MetricsRegistry;
@@ -39,14 +43,17 @@ pub struct Cli {
     /// Base RNG seed.
     pub seed: u64,
     /// Worker threads for independent simulation cells (1 = sequential).
-    /// Forced to 1 when `--trace` or `--metrics` is given, so the event
-    /// stream is deterministic.
+    /// Defaults to 1 when `--trace` or `--metrics` is given, so the event
+    /// stream is deterministic; combining either flag with an explicit
+    /// `--threads N > 1` is a usage error.
     pub threads: usize,
     /// JSONL trace output path (`--trace <path>`), if requested.
     pub trace: Option<String>,
     /// Whether `--metrics` was given: print a per-phase latency table to
     /// stderr when the run finishes.
     pub metrics: bool,
+    /// Directory for the run manifest (`--manifest <dir>`), if requested.
+    pub manifest: Option<String>,
     /// Binary-specific boolean flags that were passed (e.g. `--writes`).
     flags: Vec<String>,
 }
@@ -69,7 +76,7 @@ impl Cli {
                 eprintln!("error: {msg}");
                 eprintln!(
                     "usage: {name} [--quick] [--seed <n>] [--threads <n>] \
-                     [--trace <path>] [--metrics]{}",
+                     [--trace <path>] [--metrics] [--manifest <dir>]{}",
                     {
                         let extra: String = known.iter().map(|f| format!(" [{f}]")).collect();
                         extra
@@ -91,8 +98,10 @@ impl Cli {
             threads: default_threads(),
             trace: None,
             metrics: false,
+            manifest: None,
             flags: Vec::new(),
         };
+        let mut explicit_threads = false;
         let mut args = args.into_iter();
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -105,11 +114,15 @@ impl Cli {
                     if cli.threads == 0 {
                         return Err("--threads must be at least 1".into());
                     }
+                    explicit_threads = true;
                 }
                 "--trace" => {
                     cli.trace = Some(args.next().ok_or("--trace requires a path")?);
                 }
                 "--metrics" => cli.metrics = true,
+                "--manifest" => {
+                    cli.manifest = Some(args.next().ok_or("--manifest requires a directory")?);
+                }
                 flag if known.contains(&flag) => cli.flags.push(a),
                 _ => return Err(format!("unrecognized argument `{a}`")),
             }
@@ -117,6 +130,13 @@ impl Cli {
         if cli.trace.is_some() || cli.metrics {
             // One worker: requests then hit the shared sink in a stable
             // order, and the hot path never contends on the sink lock.
+            if explicit_threads && cli.threads > 1 {
+                return Err(
+                    "--trace/--metrics need a deterministic event stream and run \
+                     single-threaded; drop --threads or pass --threads 1"
+                        .into(),
+                );
+            }
             cli.threads = 1;
         }
         Ok(cli)
@@ -130,6 +150,19 @@ impl Cli {
     /// A worker pool sized by `--threads`.
     pub fn executor(&self) -> exec::Executor {
         exec::Executor::new(self.threads)
+    }
+
+    /// A manifest recorder for `figure`, writing into the `--manifest`
+    /// directory on [`manifest::Recorder::finish`] (or nowhere without the
+    /// flag). Recording headline values is always free.
+    pub fn recorder(&self, figure: &str) -> manifest::Recorder {
+        manifest::Recorder::new(
+            figure,
+            self.quick,
+            self.seed,
+            self.threads,
+            self.manifest.as_deref(),
+        )
     }
 
     /// Builds the observability sinks requested by `--trace`/`--metrics`.
@@ -296,14 +329,38 @@ mod tests {
     }
 
     #[test]
-    fn trace_and_metrics_force_one_thread() {
-        let cli = Cli::parse_args(args(&["--threads", "8", "--metrics"]), &[]).unwrap();
+    fn trace_and_metrics_default_to_one_thread() {
+        let cli = Cli::parse_args(args(&["--metrics"]), &[]).unwrap();
         assert!(cli.metrics);
         assert_eq!(cli.threads, 1);
         let cli = Cli::parse_args(args(&["--trace", "/tmp/t.jsonl"]), &[]).unwrap();
         assert_eq!(cli.trace.as_deref(), Some("/tmp/t.jsonl"));
         assert_eq!(cli.threads, 1);
         assert!(Cli::parse_args(args(&["--trace"]), &[]).is_err());
+    }
+
+    #[test]
+    fn explicit_parallel_threads_with_trace_or_metrics_is_an_error() {
+        // Silently forcing one thread would make `--threads 8` a lie; the
+        // combination is rejected with an actionable message instead.
+        let err = Cli::parse_args(args(&["--threads", "8", "--metrics"]), &[]).unwrap_err();
+        assert!(err.contains("--threads 1"), "{err}");
+        let err =
+            Cli::parse_args(args(&["--trace", "/tmp/t.jsonl", "--threads", "2"]), &[]).unwrap_err();
+        assert!(err.contains("single-threaded"), "{err}");
+        // An explicit `--threads 1` is consistent and accepted.
+        let cli = Cli::parse_args(args(&["--threads", "1", "--metrics"]), &[]).unwrap();
+        assert_eq!(cli.threads, 1);
+    }
+
+    #[test]
+    fn manifest_flag_is_parsed() {
+        let cli = Cli::parse_args(args(&["--manifest", "results/manifest"]), &[]).unwrap();
+        assert_eq!(cli.manifest.as_deref(), Some("results/manifest"));
+        assert!(Cli::parse_args(args(&["--manifest"]), &[]).is_err());
+        // Manifests do not constrain the thread count.
+        let cli = Cli::parse_args(args(&["--manifest", "m", "--threads", "4"]), &[]).unwrap();
+        assert_eq!(cli.threads, 4);
     }
 
     #[test]

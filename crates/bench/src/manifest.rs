@@ -1,0 +1,588 @@
+//! Run manifests: the machine-readable record a figure binary leaves behind.
+//!
+//! With `--manifest <dir>`, every figure binary writes `<dir>/<figure>.json`
+//! capturing how the run was configured (quick mode, seed, thread count,
+//! git revision), how long it took, the figure's *headline* result values
+//! (the handful of numbers a reader would quote from the figure), and a
+//! snapshot of the [`traxtent::obs`] metrics the upper stack exported.
+//!
+//! Manifests are the durable per-PR artifact behind the regression workflow:
+//! `results/baseline/` holds a committed reference run, and the `bench_diff`
+//! binary (see [`crate::diff`]) compares a fresh `results/manifest/` tree
+//! against it with configurable tolerances.
+//!
+//! The workspace vendors only a stub `serde`, so JSON is written and parsed
+//! by hand here, the same way `sim_disk::trace` does for trace events. The
+//! format is a fixed-shape object:
+//!
+//! ```json
+//! {
+//!   "figure": "fig1",
+//!   "quick": true,
+//!   "seed": 24301,
+//!   "threads": 4,
+//!   "git_rev": "ade8bdc",
+//!   "wall_secs": 1.52,
+//!   "headline": {"aligned_eff_at_track": 0.73},
+//!   "metrics": {"workloads.requests": 40000}
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use traxtent::obs::{Registry, Snapshot};
+
+/// One run's manifest: configuration, cost, headline results, and metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Figure name, e.g. `fig6` or `fig6_writes` — also the file stem.
+    pub figure: String,
+    /// Whether the run used `--quick` sample counts.
+    pub quick: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// `git rev-parse --short HEAD` at run time, or `unknown`.
+    pub git_rev: String,
+    /// Wall-clock duration of the run, seconds.
+    pub wall_secs: f64,
+    /// The figure's headline result values, keyed by a stable name.
+    pub headline: BTreeMap<String, f64>,
+    /// Counter/gauge snapshot exported by the layers the run exercised.
+    pub metrics: BTreeMap<String, u64>,
+}
+
+impl Manifest {
+    /// An empty manifest for `figure` with the given run configuration.
+    pub fn new(figure: &str, quick: bool, seed: u64, threads: usize) -> Self {
+        Manifest {
+            figure: figure.to_string(),
+            quick,
+            seed,
+            threads,
+            git_rev: "unknown".to_string(),
+            wall_secs: 0.0,
+            headline: BTreeMap::new(),
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// Serializes the manifest as pretty-printed JSON (trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"figure\": {},", json_string(&self.figure));
+        let _ = writeln!(out, "  \"quick\": {},", self.quick);
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(out, "  \"git_rev\": {},", json_string(&self.git_rev));
+        let _ = writeln!(out, "  \"wall_secs\": {},", json_f64(self.wall_secs));
+        let _ = writeln!(out, "  \"headline\": {},", {
+            let mut obj = String::from("{");
+            for (i, (k, v)) in self.headline.iter().enumerate() {
+                if i > 0 {
+                    obj.push_str(", ");
+                }
+                let _ = write!(obj, "{}: {}", json_string(k), json_f64(*v));
+            }
+            obj.push('}');
+            obj
+        });
+        let _ = writeln!(out, "  \"metrics\": {}", {
+            let mut obj = String::from("{");
+            for (i, (k, v)) in self.metrics.iter().enumerate() {
+                if i > 0 {
+                    obj.push_str(", ");
+                }
+                let _ = write!(obj, "{}: {}", json_string(k), v);
+            }
+            obj.push('}');
+            obj
+        });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a manifest serialized by [`Manifest::to_json`]. Unknown keys
+    /// are ignored so the format can grow; missing keys keep their
+    /// [`Manifest::new`] defaults except `figure`, which is required.
+    pub fn parse_json(text: &str) -> Result<Self, String> {
+        let value = json::parse(text)?;
+        let obj = value.as_object().ok_or("manifest is not a JSON object")?;
+        let mut m = Manifest::new("", false, 0, 1);
+        for (key, v) in obj {
+            match key.as_str() {
+                "figure" => m.figure = v.as_str().ok_or("figure must be a string")?.to_string(),
+                "quick" => m.quick = v.as_bool().ok_or("quick must be a bool")?,
+                "seed" => m.seed = v.as_u64().ok_or("seed must be an integer")?,
+                "threads" => {
+                    m.threads = v.as_u64().ok_or("threads must be an integer")? as usize;
+                }
+                "git_rev" => {
+                    m.git_rev = v.as_str().ok_or("git_rev must be a string")?.to_string();
+                }
+                "wall_secs" => m.wall_secs = v.as_f64().ok_or("wall_secs must be a number")?,
+                "headline" => {
+                    let h = v.as_object().ok_or("headline must be an object")?;
+                    for (k, hv) in h {
+                        let num = hv.as_f64().ok_or("headline values must be numbers")?;
+                        m.headline.insert(k.clone(), num);
+                    }
+                }
+                "metrics" => {
+                    let mm = v.as_object().ok_or("metrics must be an object")?;
+                    for (k, mv) in mm {
+                        let num = mv.as_u64().ok_or("metric values must be integers")?;
+                        m.metrics.insert(k.clone(), num);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if m.figure.is_empty() {
+            return Err("manifest has no figure name".into());
+        }
+        Ok(m)
+    }
+
+    /// Loads and parses `path`.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+        Self::parse_json(&text).map_err(|e| format!("`{}`: {e}", path.display()))
+    }
+
+    /// Loads every `*.json` manifest under `dir`, keyed by figure name.
+    pub fn load_dir(dir: &Path) -> Result<BTreeMap<String, Manifest>, String> {
+        let entries = std::fs::read_dir(dir)
+            .map_err(|e| format!("cannot read directory `{}`: {e}", dir.display()))?;
+        let mut out = BTreeMap::new();
+        for entry in entries {
+            let path = entry.map_err(|e| e.to_string())?.path();
+            if path.extension().is_some_and(|e| e == "json") {
+                let m = Manifest::load(&path)?;
+                out.insert(m.figure.clone(), m);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Writes the manifest to `<dir>/<figure>.json`, creating `dir` first.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.figure));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Records one figure binary's run and writes the manifest at the end.
+///
+/// Binaries construct a recorder unconditionally (recording headline values
+/// costs nothing), and [`Recorder::finish`] only touches the file system
+/// when `--manifest <dir>` was given — so a run without the flag is
+/// byte-for-byte the run it always was.
+pub struct Recorder {
+    manifest: Manifest,
+    dir: Option<PathBuf>,
+    start: Instant,
+}
+
+impl Recorder {
+    /// A recorder for `figure`, writing into `dir` at the end if given.
+    pub fn new(figure: &str, quick: bool, seed: u64, threads: usize, dir: Option<&str>) -> Self {
+        Recorder {
+            manifest: Manifest::new(figure, quick, seed, threads),
+            dir: dir.map(PathBuf::from),
+            start: Instant::now(),
+        }
+    }
+
+    /// Records one headline result value.
+    pub fn headline(&mut self, key: &str, value: f64) {
+        self.manifest.headline.insert(key.to_string(), value);
+    }
+
+    /// Stamps wall time and the registry snapshot, then writes the manifest
+    /// if a directory was requested. Returns the path written, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the manifest file cannot be written.
+    pub fn finish(mut self, registry: &Registry) -> Option<PathBuf> {
+        let dir = self.dir.take()?;
+        self.manifest.wall_secs = self.start.elapsed().as_secs_f64();
+        self.manifest.git_rev = git_rev();
+        self.manifest.metrics = snapshot_map(&registry.snapshot());
+        let path = self
+            .manifest
+            .write_to(&dir)
+            .unwrap_or_else(|e| panic!("cannot write manifest into `{}`: {e}", dir.display()));
+        Some(path)
+    }
+}
+
+/// A [`Snapshot`]'s entries as an owned map.
+fn snapshot_map(snap: &Snapshot) -> BTreeMap<String, u64> {
+    snap.entries().iter().cloned().collect()
+}
+
+/// The working tree's short revision, or `unknown` outside a git checkout.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Quotes and escapes `s` as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a finite `f64` so it round-trips through [`json::parse`].
+///
+/// # Panics
+///
+/// Panics on NaN or infinity — headline values are always finite.
+fn json_f64(v: f64) -> String {
+    assert!(v.is_finite(), "manifest values must be finite, got {v}");
+    let s = format!("{v}");
+    // `Display` omits the decimal point for integral values; keep it so the
+    // value reads back as the number it is in any JSON tooling.
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// A minimal JSON reader for the manifest's fixed shape: objects, strings,
+/// numbers, and booleans (arrays and `null` are rejected — manifests never
+/// contain them).
+mod json {
+    use std::collections::BTreeMap;
+
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `true` / `false`.
+        Bool(bool),
+        /// A number, kept as its source text so integers round-trip exactly.
+        Num(String),
+        /// A string literal, unescaped.
+        Str(String),
+        /// An object; insertion order is irrelevant to manifests.
+        Obj(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(s) => s.parse().ok(),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(s) => s.parse().ok(),
+                _ => None,
+            }
+        }
+
+        pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+            match self {
+                Value::Obj(m) => Some(m),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses `text` as one JSON value followed only by whitespace.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            at: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.at != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.at));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        at: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while self
+                .bytes
+                .get(self.at)
+                .is_some_and(|b| b.is_ascii_whitespace())
+            {
+                self.at += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.at).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.at += 1;
+                Ok(())
+            } else {
+                Err(format!("expected `{}` at byte {}", b as char, self.at))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b't') | Some(b'f') => self.boolean(),
+                Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+                Some(b) => Err(format!("unexpected `{}` at byte {}", b as char, self.at)),
+                None => Err("unexpected end of input".into()),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut map = BTreeMap::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.at += 1;
+                return Ok(Value::Obj(map));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let v = self.value()?;
+                map.insert(key, v);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.at += 1,
+                    Some(b'}') => {
+                        self.at += 1;
+                        return Ok(Value::Obj(map));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {}", self.at)),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    Some(b'"') => {
+                        self.at += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.at += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.at + 1..self.at + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                    16,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                out.push(
+                                    char::from_u32(code).ok_or("invalid \\u escape codepoint")?,
+                                );
+                                self.at += 4;
+                            }
+                            _ => return Err(format!("bad escape at byte {}", self.at)),
+                        }
+                        self.at += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar, not one byte.
+                        let rest = std::str::from_utf8(&self.bytes[self.at..])
+                            .map_err(|e| e.to_string())?;
+                        let c = rest.chars().next().ok_or("unterminated string")?;
+                        out.push(c);
+                        self.at += c.len_utf8();
+                    }
+                    None => return Err("unterminated string".into()),
+                }
+            }
+        }
+
+        fn boolean(&mut self) -> Result<Value, String> {
+            if self.bytes[self.at..].starts_with(b"true") {
+                self.at += 4;
+                Ok(Value::Bool(true))
+            } else if self.bytes[self.at..].starts_with(b"false") {
+                self.at += 5;
+                Ok(Value::Bool(false))
+            } else {
+                Err(format!("expected boolean at byte {}", self.at))
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.at;
+            while self.peek().is_some_and(|b| {
+                b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+            }) {
+                self.at += 1;
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.at])
+                .map_err(|e| e.to_string())?
+                .to_string();
+            // Validate it parses as a number at all.
+            text.parse::<f64>()
+                .map_err(|_| format!("bad number `{text}` at byte {start}"))?;
+            Ok(Value::Num(text))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        let mut m = Manifest::new("fig1", true, 0x5eed, 4);
+        m.git_rev = "abc1234".into();
+        m.wall_secs = 1.5;
+        m.headline.insert("aligned_eff".into(), 0.7312);
+        m.headline.insert("unaligned_eff".into(), 0.51);
+        m.metrics.insert("workloads.requests".into(), 40000);
+        m
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let m = sample();
+        let back = Manifest::parse_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn round_trips_awkward_values() {
+        let mut m = sample();
+        m.figure = "fig\"6_writes\\".into();
+        m.seed = u64::MAX;
+        m.wall_secs = 0.1 + 0.2; // not exactly representable
+        m.headline.insert("tiny".into(), 1e-12);
+        m.headline.insert("whole".into(), 3.0);
+        m.metrics.insert("big".into(), u64::MAX);
+        let back = Manifest::parse_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Manifest::parse_json("").is_err());
+        assert!(Manifest::parse_json("[1, 2]").is_err());
+        assert!(Manifest::parse_json("{\"figure\": \"x\"} trailing").is_err());
+        assert!(
+            Manifest::parse_json("{\"quick\": true}").is_err(),
+            "no figure"
+        );
+        let truncated = &sample().to_json()[..40];
+        assert!(Manifest::parse_json(truncated).is_err());
+    }
+
+    #[test]
+    fn unknown_keys_are_ignored() {
+        let m = Manifest::parse_json("{\"figure\": \"f\", \"future_field\": 1.25}").unwrap();
+        assert_eq!(m.figure, "f");
+    }
+
+    #[test]
+    fn write_load_dir_round_trip() {
+        let dir = std::env::temp_dir().join(format!("traxtent-manifest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let m = sample();
+        let path = m.write_to(&dir).unwrap();
+        assert_eq!(path, dir.join("fig1.json"));
+        let loaded = Manifest::load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded["fig1"], m);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recorder_writes_only_when_asked() {
+        let reg = Registry::new();
+        reg.add("a.count", 3);
+        let silent = Recorder::new("figX", true, 1, 1, None);
+        assert_eq!(silent.finish(&reg), None);
+
+        let dir = std::env::temp_dir().join(format!("traxtent-recorder-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut rec = Recorder::new("figX", true, 1, 2, dir.to_str());
+        rec.headline("value", 42.0);
+        let path = rec.finish(&reg).expect("manifest written");
+        let m = Manifest::load(&path).unwrap();
+        assert_eq!(m.figure, "figX");
+        assert_eq!(m.threads, 2);
+        assert_eq!(m.headline["value"], 42.0);
+        assert_eq!(m.metrics["a.count"], 3);
+        assert!(m.wall_secs >= 0.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,184 @@
+//! End-to-end tests of the observability binaries: a figure run emitting a
+//! manifest, `bench_diff` passing on an unchanged run and failing on a
+//! perturbed headline, and `trace_report` degrading gracefully on empty or
+//! truncated traces.
+//!
+//! `table1` stands in for the figure binaries because it is the cheapest
+//! (geometry construction only, ~0.1 s in a debug build) while exercising
+//! the whole `Cli` → executor → `Recorder` path the others share.
+
+use sim_disk::disk::Op;
+use sim_disk::trace::TraceEvent;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use traxtent_bench::manifest::Manifest;
+
+/// A fresh scratch directory under the system temp dir.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("traxtent-bin-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn run(bin: &str, args: &[&str]) -> Output {
+    Command::new(bin)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("cannot spawn `{bin}`: {e}"))
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
+}
+
+/// One syntactically valid trace line, as a figure run would emit it.
+fn valid_trace_line() -> String {
+    TraceEvent::Issue {
+        req: 1,
+        t: 0,
+        op: Op::Read,
+        lbn: 100,
+        len: 8,
+    }
+    .to_json()
+}
+
+#[test]
+fn trace_report_reports_empty_trace_and_exits_zero() {
+    let dir = scratch("trace-empty");
+    let path = dir.join("empty.jsonl");
+    fs::write(&path, "").unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_trace_report"),
+        &[path.to_str().unwrap()],
+    );
+    assert!(out.status.success(), "exit: {:?}", out.status);
+    assert!(
+        stdout(&out).contains("is empty: nothing to report"),
+        "stdout: {}",
+        stdout(&out)
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn trace_report_reports_truncated_trace_and_exits_zero() {
+    let dir = scratch("trace-trunc");
+
+    // A file holding nothing parseable: report the truncation, exit 0.
+    let garbage = dir.join("garbage.jsonl");
+    fs::write(&garbage, "{\"ev\": \"iss").unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_trace_report"),
+        &[garbage.to_str().unwrap()],
+    );
+    assert!(out.status.success(), "exit: {:?}", out.status);
+    assert!(
+        stdout(&out).contains("no usable events (truncated at line 1)"),
+        "stdout: {}",
+        stdout(&out)
+    );
+
+    // A valid prefix followed by a torn tail: census the prefix, note the
+    // truncation point, exit 0.
+    let torn = dir.join("torn.jsonl");
+    fs::write(
+        &torn,
+        format!("{}\n{}", valid_trace_line(), "{\"ev\": \"se"),
+    )
+    .unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_trace_report"),
+        &[torn.to_str().unwrap()],
+    );
+    assert!(out.status.success(), "exit: {:?}", out.status);
+    let text = stdout(&out);
+    assert!(text.contains("trace truncated at line 2"), "stdout: {text}");
+    assert!(text.contains("issue"), "census missing from: {text}");
+
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Runs `table1 --quick --manifest <dir>` and returns its stdout.
+fn run_table1(manifest_dir: &Path, extra: &[&str]) -> String {
+    let mut args = vec!["--quick", "--manifest", manifest_dir.to_str().unwrap()];
+    args.extend_from_slice(extra);
+    let out = run(env!("CARGO_BIN_EXE_table1"), &args);
+    assert!(out.status.success(), "table1 failed: {:?}", out.status);
+    stdout(&out)
+}
+
+#[test]
+fn manifest_pipeline_passes_unchanged_and_fails_when_perturbed() {
+    let dir = scratch("diff");
+    let baseline = dir.join("baseline");
+    let current = dir.join("current");
+    let text_a = run_table1(&baseline, &[]);
+    let text_b = run_table1(&current, &[]);
+    assert_eq!(text_a, text_b, "reruns must be byte-identical");
+
+    // A run without --manifest prints exactly the same report.
+    let plain = run(env!("CARGO_BIN_EXE_table1"), &["--quick"]);
+    assert_eq!(text_a, stdout(&plain), "--manifest must not change stdout");
+
+    // Unchanged runs pass the diff.
+    let bench_diff = env!("CARGO_BIN_EXE_bench_diff");
+    let out = run(
+        bench_diff,
+        &[baseline.to_str().unwrap(), current.to_str().unwrap()],
+    );
+    assert!(out.status.success(), "diff of identical runs must pass");
+    assert!(stdout(&out).contains("PASS"), "stdout: {}", stdout(&out));
+
+    // Perturb one headline beyond the default ±2 % tolerance: exit 1.
+    let path = current.join("table1.json");
+    let mut m = Manifest::load(&path).expect("manifest parses");
+    let (key, value) = {
+        let (k, v) = m.headline.iter().next().expect("has a headline");
+        (k.clone(), *v)
+    };
+    m.headline.insert(key.clone(), value * 1.10);
+    m.write_to(&current).unwrap();
+    let out = run(
+        bench_diff,
+        &[baseline.to_str().unwrap(), current.to_str().unwrap()],
+    );
+    assert_eq!(out.status.code(), Some(1), "perturbed run must fail");
+    let text = stdout(&out);
+    assert!(text.contains("FAIL"), "stdout: {text}");
+    assert!(text.contains(&key), "regression must name `{key}`: {text}");
+
+    // A loose tolerance forgives the same perturbation.
+    let out = run(
+        bench_diff,
+        &[
+            baseline.to_str().unwrap(),
+            current.to_str().unwrap(),
+            "--tol",
+            "0.5",
+        ],
+    );
+    assert!(out.status.success(), "10% change is within --tol 0.5");
+
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn manifests_are_identical_across_thread_counts() {
+    let dir = scratch("threads");
+    let one = dir.join("t1");
+    let four = dir.join("t4");
+    let text_one = run_table1(&one, &["--threads", "1"]);
+    let text_four = run_table1(&four, &["--threads", "4"]);
+    assert_eq!(text_one, text_four, "stdout must not depend on threads");
+
+    let a = Manifest::load(&one.join("table1.json")).unwrap();
+    let b = Manifest::load(&four.join("table1.json")).unwrap();
+    assert_eq!(a.headline, b.headline);
+    assert_eq!(a.metrics, b.metrics);
+    assert_eq!(b.threads, 4);
+
+    fs::remove_dir_all(&dir).unwrap();
+}

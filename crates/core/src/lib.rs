@@ -20,7 +20,9 @@
 //!   requests at track boundaries;
 //! * [`model`] — closed-form performance models behind Figures 1 and 3 of
 //!   the paper;
-//! * [`stats`] — small statistics helpers used throughout the evaluation.
+//! * [`stats`] — small statistics helpers used throughout the evaluation;
+//! * [`obs`] — a lightweight counter/gauge registry the upper layers use to
+//!   expose what a run did (lock-free updates, deterministic snapshots).
 //!
 //! # Example
 //!
@@ -44,6 +46,7 @@ pub mod alloc;
 pub mod boundaries;
 pub mod extent;
 pub mod model;
+pub mod obs;
 pub mod planner;
 pub mod stats;
 

@@ -24,6 +24,7 @@
 
 use scsi::ScsiDisk;
 use sim_disk::{SimDur, SimTime};
+use traxtent::obs::Registry;
 use traxtent::TrackBoundaries;
 
 /// Tuning for the general extractor.
@@ -64,6 +65,70 @@ pub struct GeneralExtraction {
     pub probes_per_track: f64,
     /// Simulated wall-clock time the extraction took.
     pub elapsed: SimTime,
+    /// Activity counters: where the probes went and how often the
+    /// predict-and-verify fast path missed.
+    pub counters: GeneralCounters,
+    /// Simulated time spent in each step of the algorithm.
+    pub steps: StepBreakdown,
+}
+
+/// Activity counters of one general extraction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GeneralCounters {
+    /// Probes spent sweeping calibration phases.
+    pub calibration_probes: u64,
+    /// Rotational-convergence iterations: baseline re-measures that had to
+    /// shift the issue phase before the residual wait fit the budget.
+    pub convergence_iters: u64,
+    /// Full recalibrations forced by persistent baseline drift.
+    pub recalibrations: u64,
+    /// Boundary mispredictions: verify probes that contradicted the
+    /// predicted sectors-per-track and forced a re-measure or search.
+    pub mispredictions: u64,
+    /// Tracks confirmed by the two-probe verify fast path.
+    pub verified_predictions: u64,
+}
+
+/// Simulated time a general extraction spent per algorithm step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepBreakdown {
+    /// Rotational-phase calibration sweeps.
+    pub calibrate: SimDur,
+    /// One-sector baseline re-measures.
+    pub baseline: SimDur,
+    /// Per-sector slope measurement (the 17/33/49 ladder).
+    pub slope: SimDur,
+    /// Predict-and-verify probes.
+    pub verify: SimDur,
+    /// Upward doubling and bisection searches.
+    pub search: SimDur,
+}
+
+impl GeneralExtraction {
+    /// Publishes the extraction's counters and step times (in simulated
+    /// microseconds) under `dixtrac.general.*`.
+    pub fn export_metrics(&self, reg: &Registry) {
+        reg.add("dixtrac.general.probe_reads", self.probe_reads);
+        reg.add(
+            "dixtrac.general.tracks",
+            self.boundaries.num_tracks() as u64,
+        );
+        let c = &self.counters;
+        reg.add("dixtrac.general.calibration_probes", c.calibration_probes);
+        reg.add("dixtrac.general.convergence_iters", c.convergence_iters);
+        reg.add("dixtrac.general.recalibrations", c.recalibrations);
+        reg.add("dixtrac.general.mispredictions", c.mispredictions);
+        reg.add(
+            "dixtrac.general.verified_predictions",
+            c.verified_predictions,
+        );
+        let s = &self.steps;
+        reg.add("dixtrac.general.us.calibrate", s.calibrate.as_ns() / 1_000);
+        reg.add("dixtrac.general.us.baseline", s.baseline.as_ns() / 1_000);
+        reg.add("dixtrac.general.us.slope", s.slope.as_ns() / 1_000);
+        reg.add("dixtrac.general.us.verify", s.verify.as_ns() / 1_000);
+        reg.add("dixtrac.general.us.search", s.search.as_ns() / 1_000);
+    }
 }
 
 /// What a context is currently doing.
@@ -156,13 +221,27 @@ pub fn extract_general(disk: &mut ScsiDisk, config: &GeneralConfig) -> GeneralEx
         .collect();
 
     let mut probe_reads = 0u64;
+    let mut counters = GeneralCounters::default();
+    let mut steps = StepBreakdown::default();
     let mut active = contexts.len();
     while active > 0 {
         for ctx in &mut contexts {
             if matches!(ctx.state, State::Done) {
                 continue;
             }
-            step(disk, ctx, rev, capacity, config, &mut probe_reads);
+            let slot = step_slot(&ctx.state);
+            let before = disk.elapsed();
+            step(
+                disk,
+                ctx,
+                rev,
+                capacity,
+                config,
+                &mut probe_reads,
+                &mut counters,
+            );
+            let spent = disk.elapsed() - before;
+            *slot_of(&mut steps, slot) = *slot_of(&mut steps, slot) + spent;
             if matches!(ctx.state, State::Done) {
                 active -= 1;
             }
@@ -186,6 +265,30 @@ pub fn extract_general(disk: &mut ScsiDisk, config: &GeneralConfig) -> GeneralEx
         probe_reads,
         elapsed: disk.elapsed(),
         boundaries,
+        counters,
+        steps,
+    }
+}
+
+/// Which [`StepBreakdown`] slot a state's probes are charged to.
+fn step_slot(state: &State) -> usize {
+    match state {
+        State::Calibrate { .. } => 0,
+        State::Baseline { .. } => 1,
+        State::SlotProbe { .. } => 2,
+        State::VerifyLow | State::VerifyHigh => 3,
+        State::SearchUp { .. } | State::Bisect { .. } | State::Done => 4,
+    }
+}
+
+/// The mutable slot for [`step_slot`]'s index.
+fn slot_of(steps: &mut StepBreakdown, slot: usize) -> &mut SimDur {
+    match slot {
+        0 => &mut steps.calibrate,
+        1 => &mut steps.baseline,
+        2 => &mut steps.slope,
+        3 => &mut steps.verify,
+        _ => &mut steps.search,
     }
 }
 
@@ -197,6 +300,7 @@ fn step(
     capacity: u64,
     config: &GeneralConfig,
     probe_reads: &mut u64,
+    counters: &mut GeneralCounters,
 ) {
     // Positioning write at the probe target itself: it parks the head on
     // the target track (making the probe's non-rotational cost constant
@@ -236,6 +340,7 @@ fn step(
             best_r,
             best_phase,
         } => {
+            counters.calibration_probes += 1;
             let phase =
                 SimDur::from_ns(rev.as_ns() * u64::from(i) / u64::from(config.calibration_phases));
             let r = probe(disk, ctx.s, 1, phase, probe_reads);
@@ -320,6 +425,7 @@ fn step(
             } else if attempts < 3 {
                 // Shift the issue phase so the head arrives just before the
                 // sector instead of `excess` early.
+                counters.convergence_iters += 1;
                 let target = SimDur::from_ns(rev.as_ns() / 128);
                 ctx.phase = SimDur::from_ns(
                     (ctx.phase.as_ns() + excess.saturating_sub(target).as_ns()) % rev.as_ns(),
@@ -330,6 +436,7 @@ fn step(
             } else {
                 // Persistent drift (e.g. zone change altered the layout):
                 // recalibrate from scratch.
+                counters.recalibrations += 1;
                 ctx.state = State::Calibrate {
                     i: 0,
                     best_r: SimDur::from_secs_f64(3600.0),
@@ -348,6 +455,7 @@ fn step(
             }
             let r = probe(disk, ctx.s, p, ctx.phase, probe_reads);
             if crosses(r, ctx.baseline, ctx.slope.expect("slope measured"), p) {
+                counters.mispredictions += 1;
                 if ctx.slope_at == Some(ctx.s) {
                     // The prediction overshot: bisect below it.
                     ctx.state = State::Bisect { lo: 1, hi: p };
@@ -373,13 +481,16 @@ fn step(
             }
             let r = probe(disk, ctx.s, p + 1, ctx.phase, probe_reads);
             if crosses(r, ctx.baseline, ctx.slope.expect("slope measured"), p + 1) {
+                counters.verified_predictions += 1;
                 finish_track(ctx, p, capacity);
             } else if ctx.slope_at == Some(ctx.s) {
+                counters.mispredictions += 1;
                 ctx.state = State::SearchUp {
                     lo: p + 1,
                     hi: (p + 1) * 2,
                 };
             } else {
+                counters.mispredictions += 1;
                 ctx.state = State::SlotProbe {
                     i: 0,
                     r: [SimDur::ZERO; 3],
@@ -532,6 +643,47 @@ mod tests {
         let got = extract_general(&mut s, &test_config());
         assert!(got.elapsed > SimTime::ZERO);
         assert!(got.probe_reads > 0);
+    }
+
+    #[test]
+    fn counters_and_step_times_account_for_the_run() {
+        let disk = Disk::new(models::small_test_disk());
+        let mut s = ScsiDisk::new(disk);
+        let got = extract_general(&mut s, &test_config());
+        let c = got.counters;
+        assert!(c.calibration_probes > 0, "calibration always runs");
+        assert!(
+            c.verified_predictions > 0,
+            "most tracks confirm via the fast path"
+        );
+        assert!(
+            c.verified_predictions + c.mispredictions > 0
+                && c.verified_predictions > c.mispredictions,
+            "fast path should dominate: {c:?}"
+        );
+        let total = got.steps.calibrate
+            + got.steps.baseline
+            + got.steps.slope
+            + got.steps.verify
+            + got.steps.search;
+        assert!(total > SimDur::ZERO);
+        assert!(
+            total <= got.elapsed - SimTime::ZERO,
+            "step times cannot exceed the run"
+        );
+
+        let reg = Registry::new();
+        got.export_metrics(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.get("dixtrac.general.probe_reads"),
+            Some(got.probe_reads)
+        );
+        assert_eq!(
+            snap.get("dixtrac.general.verified_predictions"),
+            Some(c.verified_predictions)
+        );
+        assert!(snap.get("dixtrac.general.us.verify").unwrap_or(0) > 0);
     }
 
     #[test]

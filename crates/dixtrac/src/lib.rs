@@ -16,6 +16,8 @@
 //! Both produce a [`traxtent::TrackBoundaries`] table plus a report of what
 //! the extraction cost.
 
+#![warn(missing_docs)]
+
 pub mod general;
 pub mod scsi_probe;
 

@@ -22,6 +22,8 @@
 use scsi::ScsiDisk;
 use sim_disk::defects::DefectLocation;
 use sim_disk::geometry::Pba;
+use sim_disk::SimDur;
+use traxtent::obs::Registry;
 use traxtent::TrackBoundaries;
 
 /// The extractor's best guess at the drive's spare-space scheme.
@@ -63,6 +65,17 @@ pub struct ZoneGuess {
     pub spt: u32,
 }
 
+/// The cost of one step of the SCSI extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepCost {
+    /// Step name, e.g. `walk`.
+    pub name: &'static str,
+    /// Address translations the step issued.
+    pub translations: u64,
+    /// Simulated time the step took.
+    pub elapsed: SimDur,
+}
+
 /// The result of a SCSI-specific extraction.
 #[derive(Debug, Clone)]
 pub struct ScsiExtraction {
@@ -80,6 +93,37 @@ pub struct ScsiExtraction {
     pub translations: u64,
     /// Translations per extracted track.
     pub translations_per_track: f64,
+    /// Boundary-walk predictions contradicted by their verify translations
+    /// (zone changes, defective or spare-shortened tracks).
+    pub mispredictions: u64,
+    /// Boundary-walk predictions confirmed by the two-translation fast path.
+    pub verified_predictions: u64,
+    /// Per-step translation and time costs, in execution order.
+    pub steps: Vec<StepCost>,
+}
+
+impl ScsiExtraction {
+    /// Publishes the extraction's counters and per-step costs (simulated
+    /// microseconds) under `dixtrac.scsi.*`.
+    pub fn export_metrics(&self, reg: &Registry) {
+        reg.add("dixtrac.scsi.translations", self.translations);
+        reg.add("dixtrac.scsi.tracks", self.boundaries.num_tracks() as u64);
+        reg.add("dixtrac.scsi.mispredictions", self.mispredictions);
+        reg.add(
+            "dixtrac.scsi.verified_predictions",
+            self.verified_predictions,
+        );
+        for step in &self.steps {
+            reg.add(
+                &format!("dixtrac.scsi.translations.{}", step.name),
+                step.translations,
+            );
+            reg.add(
+                &format!("dixtrac.scsi.us.{}", step.name),
+                step.elapsed.as_ns() / 1_000,
+            );
+        }
+    }
 }
 
 /// Runs the five-step extraction.
@@ -92,28 +136,47 @@ pub fn extract_scsi(disk: &mut ScsiDisk) -> ScsiExtraction {
     let capacity = disk.read_capacity();
     assert!(capacity > 0, "drive reports zero capacity");
 
+    let mut steps: Vec<StepCost> = Vec::with_capacity(6);
+    let mut mark = (disk.counts().translations, disk.elapsed());
+    let mut record = |disk: &ScsiDisk, name: &'static str, steps: &mut Vec<StepCost>| {
+        let now = (disk.counts().translations, disk.elapsed());
+        steps.push(StepCost {
+            name,
+            translations: now.0 - mark.0,
+            elapsed: now.1 - mark.1,
+        });
+        mark = now;
+    };
+
     // Step 1: surfaces. Walk the first few track boundaries: the head
     // number increments with each new track until it wraps to the next
     // cylinder.
     let surfaces = discover_surfaces(disk, capacity);
+    record(disk, "surfaces", &mut steps);
 
     // Step 2: defect list.
     let defects = disk.read_defect_list();
+    record(disk, "defects", &mut steps);
 
     // Boundary walk with predict-and-verify (this subsumes step 4's
     // per-zone track sizes).
-    let starts = walk_boundaries(disk, capacity, surfaces);
-    let boundaries = TrackBoundaries::new(starts, capacity).expect("walk produces a valid table");
+    let walk = walk_boundaries(disk, capacity, surfaces);
+    let boundaries =
+        TrackBoundaries::new(walk.starts, capacity).expect("walk produces a valid table");
+    record(disk, "walk", &mut steps);
 
     // Step 4: zone summary from the boundary table + per-track cylinder
     // lookup on zone candidates.
     let zones = discover_zones(disk, &boundaries);
+    record(disk, "zones", &mut steps);
 
     // Step 3: spare-scheme classification (needs zones and defects).
     let scheme = classify_scheme(disk, &boundaries, &zones, &defects, surfaces, capacity);
+    record(disk, "scheme", &mut steps);
 
     // Step 5: slipping vs remapping.
     let policy = classify_policy(disk, &defects);
+    record(disk, "policy", &mut steps);
 
     let translations = disk.counts().translations;
     ScsiExtraction {
@@ -124,6 +187,9 @@ pub fn extract_scsi(disk: &mut ScsiDisk) -> ScsiExtraction {
         policy,
         translations,
         boundaries,
+        mispredictions: walk.mispredictions,
+        verified_predictions: walk.verified,
+        steps,
     }
 }
 
@@ -186,11 +252,22 @@ fn next_track_start(disk: &mut ScsiDisk, lbn: u64, here: Pba, capacity: u64) -> 
     Some(hi)
 }
 
+/// The boundary walk's product: track starts plus fast-path accounting.
+struct Walk {
+    starts: Vec<u64>,
+    /// Predictions whose verify translations disagreed.
+    mispredictions: u64,
+    /// Predictions confirmed by two translations.
+    verified: u64,
+}
+
 /// Walks every track boundary using predict-and-verify. The predictor uses
 /// the length of the same-surface track one cylinder back when available
 /// (which absorbs per-cylinder spare patterns), falling back to the
 /// previous track's length.
-fn walk_boundaries(disk: &mut ScsiDisk, capacity: u64, surfaces: u32) -> Vec<u64> {
+fn walk_boundaries(disk: &mut ScsiDisk, capacity: u64, surfaces: u32) -> Walk {
+    let mut mispredictions = 0u64;
+    let mut verified = 0u64;
     let mut starts = vec![0u64];
     let mut s = 0u64;
     let mut here = disk.translate_lbn(0);
@@ -212,8 +289,10 @@ fn walk_boundaries(disk: &mut ScsiDisk, capacity: u64, surfaces: u32) -> Vec<u64
             let over = disk.translate_lbn(s + p);
             let same = |a: Pba, b: Pba| a.cyl == b.cyl && a.head == b.head;
             if same(last, here) && !same(over, here) {
+                verified += 1;
                 (Some(s + p), Some(over))
             } else {
+                mispredictions += 1;
                 (next_track_start(disk, s, here, capacity), None)
             }
         } else {
@@ -232,7 +311,11 @@ fn walk_boundaries(disk: &mut ScsiDisk, capacity: u64, surfaces: u32) -> Vec<u64
             None => break,
         }
     }
-    starts
+    Walk {
+        starts,
+        mispredictions,
+        verified,
+    }
 }
 
 /// Summarizes zones: a zone change is a sustained change in nominal track
@@ -484,6 +567,43 @@ mod tests {
             "predict-and-verify should need few translations, got {}",
             r.translations_per_track
         );
+    }
+
+    #[test]
+    fn step_costs_and_walk_counters_account_for_the_run() {
+        let r = extract_and_check(models::small_test_disk());
+        // On a pristine disk only the zone change can defeat the predictor.
+        assert!(r.verified_predictions > 0);
+        assert!(
+            r.mispredictions <= 4,
+            "pristine disk should rarely mispredict: {}",
+            r.mispredictions
+        );
+        let names: Vec<&str> = r.steps.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            ["surfaces", "defects", "walk", "zones", "scheme", "policy"]
+        );
+        let step_total: u64 = r.steps.iter().map(|s| s.translations).sum();
+        assert_eq!(
+            step_total, r.translations,
+            "per-step translations must sum to the total"
+        );
+        let walk = &r.steps[2];
+        assert!(
+            walk.translations > r.translations / 2,
+            "the boundary walk dominates the translation budget"
+        );
+
+        let reg = Registry::new();
+        r.export_metrics(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("dixtrac.scsi.translations"), Some(r.translations));
+        assert_eq!(
+            snap.get("dixtrac.scsi.translations.walk"),
+            Some(walk.translations)
+        );
+        assert!(snap.get("dixtrac.scsi.us.walk").is_some());
     }
 
     #[test]

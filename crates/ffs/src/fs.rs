@@ -29,7 +29,12 @@ pub enum FsError {
     /// The file does not exist.
     NoSuchFile(FileId),
     /// Read beyond end of file.
-    BeyondEof { file: FileId, offset: u64 },
+    BeyondEof {
+        /// The file whose end was passed.
+        file: FileId,
+        /// The offending byte offset.
+        offset: u64,
+    },
 }
 
 impl fmt::Display for FsError {
@@ -141,6 +146,38 @@ impl FileSystem {
     /// I/O statistics so far.
     pub fn stats(&self) -> FsStats {
         self.stats
+    }
+
+    /// Buffer-cache `(hits, misses)` so far.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Publishes the file system's activity under `ffs.*`: buffer-cache
+    /// hits/misses, where allocations were placed (track-aligned traxtent
+    /// runs vs the track-unaware fallback), free-space fragmentation and
+    /// exclusion high-water marks (parts per million), and disk request
+    /// totals.
+    pub fn export_metrics(&self, reg: &traxtent::obs::Registry) {
+        let (hits, misses) = self.cache.stats();
+        reg.add("ffs.cache.hits", hits);
+        reg.add("ffs.cache.misses", misses);
+        let a = self.layout.alloc_stats();
+        reg.add("ffs.alloc.sequential", a.sequential);
+        reg.add("ffs.alloc.track_aligned", a.track_aligned);
+        reg.add("ffs.alloc.fallback", a.fallback);
+        reg.set_max(
+            "ffs.fragmentation_ppm",
+            (self.layout.fragmentation() * 1e6) as u64,
+        );
+        reg.set_max(
+            "ffs.excluded_ppm",
+            (self.layout.excluded_fraction() * 1e6) as u64,
+        );
+        reg.add("ffs.disk.reads", self.stats.disk_reads);
+        reg.add("ffs.disk.writes", self.stats.disk_writes);
+        reg.add("ffs.disk.sectors_read", self.stats.sectors_read);
+        reg.add("ffs.disk.sectors_written", self.stats.sectors_written);
     }
 
     /// Resets statistics.
@@ -593,6 +630,30 @@ mod tests {
         f.sync();
         f.read(id, 0, 4 * MB).unwrap();
         assert!(f.now() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn export_metrics_publishes_the_run() {
+        let mut f = fs(Personality::Traxtent);
+        let id = f.create();
+        f.write(id, 0, 4 * MB).unwrap();
+        f.sync();
+        f.read(id, 0, 4 * MB).unwrap();
+        f.read(id, 0, 4 * MB).unwrap();
+        let reg = traxtent::obs::Registry::new();
+        f.export_metrics(&reg);
+        let snap = reg.snapshot();
+        let stats = f.stats();
+        assert_eq!(snap.get("ffs.disk.reads"), Some(stats.disk_reads));
+        assert_eq!(snap.get("ffs.disk.writes"), Some(stats.disk_writes));
+        let (hits, misses) = f.cache_stats();
+        assert_eq!(snap.get("ffs.cache.hits"), Some(hits));
+        assert!(hits > 0, "second read should hit the cache");
+        assert_eq!(snap.get("ffs.cache.misses"), Some(misses));
+        let a = f.layout().alloc_stats();
+        assert!(a.sequential + a.track_aligned > 0);
+        assert_eq!(snap.get("ffs.alloc.sequential"), Some(a.sequential));
+        assert!(snap.get("ffs.excluded_ppm").unwrap() > 0);
     }
 
     #[test]

@@ -23,6 +23,19 @@ pub enum Personality {
     Traxtent,
 }
 
+/// Where [`Layout::alloc_next`] placements came from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Placements on the preferred next-sequential block.
+    pub sequential: u64,
+    /// Placements into a whole-traxtent run (track-aligned by
+    /// construction; traxtent personality only).
+    pub track_aligned: u64,
+    /// Placements by the closest-free-run fallback, which ignores track
+    /// boundaries.
+    pub fallback: u64,
+}
+
 /// The formatted layout: free-block state for every group plus the
 /// traxtent structures.
 #[derive(Debug, Clone)]
@@ -37,6 +50,7 @@ pub struct Layout {
     /// (traxtent personality only).
     excluded: Vec<bool>,
     free_count: u64,
+    alloc_stats: AllocStats,
 }
 
 impl Layout {
@@ -80,6 +94,7 @@ impl Layout {
             free,
             excluded,
             free_count,
+            alloc_stats: AllocStats::default(),
         }
     }
 
@@ -107,6 +122,33 @@ impl Layout {
     /// on the 10K II, per §4.2.2).
     pub fn excluded_fraction(&self) -> f64 {
         self.excluded.iter().filter(|&&e| e).count() as f64 / self.blocks as f64
+    }
+
+    /// Where allocations have been placed so far.
+    pub fn alloc_stats(&self) -> AllocStats {
+        self.alloc_stats
+    }
+
+    /// Free-space fragmentation in `[0, 1]`: `1 − largest free run /
+    /// free blocks`. A fully contiguous free pool scores 0; free space
+    /// scattered in many small runs approaches 1. (Excluded blocks split
+    /// runs, so a freshly formatted traxtent layout reports per-track
+    /// granularity rather than 0.) Returns 0 on a full disk.
+    pub fn fragmentation(&self) -> f64 {
+        if self.free_count == 0 {
+            return 0.0;
+        }
+        let mut largest = 0u64;
+        let mut run = 0u64;
+        for &f in &self.free {
+            if f {
+                run += 1;
+                largest = largest.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        1.0 - largest as f64 / self.free_count as f64
     }
 
     /// Whether a block is excluded.
@@ -166,6 +208,7 @@ impl Layout {
         if let Some(p) = prev {
             let preferred = p + 1;
             if preferred < self.blocks && self.free[preferred as usize] {
+                self.alloc_stats.sequential += 1;
                 self.take(preferred);
                 return Some(preferred);
             }
@@ -173,25 +216,30 @@ impl Layout {
             // run. The traxtent personality jumps to the start of the
             // closest traxtent with room (§4.2.2); the others take the
             // closest free cluster big enough for the buffered data.
-            let b = match self.personality {
-                Personality::Traxtent => self
-                    .closest_traxtent_run(preferred.min(self.blocks - 1), run_hint)
-                    .or_else(|| self.closest_free_run(preferred.min(self.blocks - 1), run_hint)),
-                _ => self.closest_free_run(preferred.min(self.blocks - 1), run_hint),
-            }?;
+            let b = self.place_near(preferred.min(self.blocks - 1), run_hint)?;
             self.take(b);
             return Some(b);
         }
         // First block of a file: start of the closest suitable free run from
         // the beginning of the group rotation (block 0 heuristic stands in
         // for FFS's directory-based group choice).
-        let b = match self.personality {
-            Personality::Traxtent => self
-                .closest_traxtent_run(0, run_hint)
-                .or_else(|| self.closest_free_run(0, run_hint)),
-            _ => self.closest_free_run(0, run_hint),
-        }?;
+        let b = self.place_near(0, run_hint)?;
         self.take(b);
+        Some(b)
+    }
+
+    /// The personality's placement policy near `near`, counting whether the
+    /// placement landed in a whole-traxtent run or fell back to the
+    /// track-unaware closest-free-run search.
+    fn place_near(&mut self, near: u64, run_hint: u64) -> Option<u64> {
+        if self.personality == Personality::Traxtent {
+            if let Some(b) = self.closest_traxtent_run(near, run_hint) {
+                self.alloc_stats.track_aligned += 1;
+                return Some(b);
+            }
+        }
+        let b = self.closest_free_run(near, run_hint)?;
+        self.alloc_stats.fallback += 1;
         Some(b)
     }
 
@@ -396,5 +444,50 @@ mod tests {
         }
         assert_eq!(count, 4160);
         assert_eq!(l.free_blocks(), 0);
+    }
+
+    #[test]
+    fn alloc_stats_attribute_placements() {
+        let mut l = layout(Personality::Traxtent);
+        // First block has no predecessor: placed via the traxtent run
+        // search. The next extends it sequentially.
+        let a = l.alloc_next(None, 12).unwrap();
+        let b = l.alloc_next(Some(a), 12).unwrap();
+        assert_eq!(b, a + 1);
+        let s = l.alloc_stats();
+        assert_eq!(s.sequential, 1);
+        assert_eq!(s.track_aligned, 1);
+        assert_eq!(s.fallback, 0);
+
+        // An unmodified layout never uses the traxtent search.
+        let mut u = layout(Personality::Unmodified);
+        let a = u.alloc_next(None, 12).unwrap();
+        u.alloc_next(Some(a), 12).unwrap();
+        let s = u.alloc_stats();
+        assert_eq!(s.sequential, 1);
+        assert_eq!(s.track_aligned, 0);
+        assert_eq!(s.fallback, 1);
+    }
+
+    #[test]
+    fn fragmentation_rises_as_free_space_scatters() {
+        let mut l = layout(Personality::Unmodified);
+        assert_eq!(l.fragmentation(), 0.0, "pristine layout is one free run");
+        // Punch holes: taking every 8th block caps the largest free run at 7
+        // while leaving most blocks free.
+        let mut b = 0;
+        while b < l.blocks() {
+            l.take(b);
+            b += 8;
+        }
+        let frag = l.fragmentation();
+        assert!(frag > 0.9, "scattered free space is fragmented: {frag}");
+        // Full layout: no free blocks at all, defined as unfragmented.
+        let mut full = layout(Personality::Unmodified);
+        let mut prev = None;
+        while let Some(nb) = full.alloc_next(prev, 8) {
+            prev = Some(nb);
+        }
+        assert_eq!(full.fragmentation(), 0.0);
     }
 }

@@ -16,6 +16,8 @@
 //! cache) but not user data bytes: workloads only need faithful I/O timing,
 //! which comes from the shared [`sim_disk::Disk`].
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod fs;
 pub mod layout;

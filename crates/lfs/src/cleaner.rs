@@ -78,6 +78,7 @@ pub struct LfsSim {
     open_fill: u64,
     empty: Vec<usize>,
     tally: WriteTally,
+    cleaner_passes: u64,
 }
 
 impl LfsSim {
@@ -123,6 +124,7 @@ impl LfsSim {
             table,
             config,
             tally: WriteTally::default(),
+            cleaner_passes: 0,
         };
         // Initial fill: write every logical sector once (not tallied — the
         // metric covers steady-state behaviour).
@@ -141,6 +143,40 @@ impl LfsSim {
     /// The tallies so far.
     pub fn tally(&self) -> WriteTally {
         self.tally
+    }
+
+    /// How many times the cleaner selected and emptied a victim segment.
+    pub fn cleaner_passes(&self) -> u64 {
+        self.cleaner_passes
+    }
+
+    /// Segment-utilization histogram: ten equal-width buckets over
+    /// `[0, 1]`, with fully-utilized segments counted in the last bucket.
+    pub fn segment_utilization_histogram(&self) -> [u64; 10] {
+        let mut buckets = [0u64; 10];
+        for i in 0..self.table.len() {
+            let u = self.table.utilization(i);
+            let b = ((u * 10.0) as usize).min(9);
+            buckets[b] += 1;
+        }
+        buckets
+    }
+
+    /// Publishes the simulator's state under `lfs.*`: the write tally, the
+    /// cleaner pass count, and the segment-utilization histogram
+    /// (`lfs.seg_util.bucket0` = segments below 10 % utilized, …,
+    /// `bucket9` = 90 % and above). The write-cost ratio is exported as a
+    /// parts-per-million high-water mark so concurrent runs commute.
+    pub fn export_metrics(&self, reg: &traxtent::obs::Registry) {
+        reg.add("lfs.new_written", self.tally.new_written);
+        reg.add("lfs.clean_read", self.tally.clean_read);
+        reg.add("lfs.clean_written", self.tally.clean_written);
+        reg.add("lfs.cleaner.passes", self.cleaner_passes);
+        reg.add("lfs.segments", self.table.len() as u64);
+        reg.set_max("lfs.write_cost_ppm", (self.tally.write_cost() * 1e6) as u64);
+        for (b, count) in self.segment_utilization_histogram().iter().enumerate() {
+            reg.add(&format!("lfs.seg_util.bucket{b}"), *count);
+        }
     }
 
     /// Debug helper: run `updates` overwrites with an explicit seed offset
@@ -235,6 +271,7 @@ impl LfsSim {
     /// Cleans the lowest-utilization victim: reads its live sectors and
     /// appends them to the log.
     fn clean_one(&mut self) {
+        self.cleaner_passes += 1;
         let victim = self
             .by_util
             .iter()
@@ -395,5 +432,29 @@ mod tests {
     #[should_panic(expected = "too few segments")]
     fn tiny_tables_rejected() {
         let _ = LfsSim::fixed(1024, 512, LfsConfig::default());
+    }
+
+    #[test]
+    fn metrics_account_for_the_run() {
+        let mut sim = LfsSim::fixed(CAP, 512, LfsConfig::default());
+        let t = sim.run_updates(20_000);
+        assert!(sim.cleaner_passes() > 0, "the reserve forces cleaning");
+        let hist = sim.segment_utilization_histogram();
+        assert_eq!(
+            hist.iter().sum::<u64>(),
+            (CAP / 512),
+            "every segment lands in exactly one bucket"
+        );
+        let reg = traxtent::obs::Registry::new();
+        sim.export_metrics(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("lfs.new_written"), Some(t.new_written));
+        assert_eq!(snap.get("lfs.clean_read"), Some(t.clean_read));
+        assert_eq!(snap.get("lfs.cleaner.passes"), Some(sim.cleaner_passes()));
+        assert_eq!(snap.get("lfs.seg_util.bucket0"), Some(hist[0]));
+        assert_eq!(
+            snap.get("lfs.write_cost_ppm"),
+            Some((t.write_cost() * 1e6) as u64)
+        );
     }
 }

@@ -21,6 +21,8 @@
 //! [`segments::SegmentTable`] is the augmented segment-usage table of
 //! §5.5.1, carrying each segment's start LBN and length.
 
+#![warn(missing_docs)]
+
 pub mod cleaner;
 pub mod segments;
 

@@ -1,0 +1,128 @@
+//! Property-based tests for the log-linear latency histogram: edge cases
+//! (empty, single sample, bucket boundaries) and the quantile invariants
+//! every reader of `--metrics` output relies on.
+
+use proptest::prelude::*;
+use sim_disk::metrics::Histogram;
+
+/// Nanosecond values spread across the full bucket layout: the exact
+/// low range, sub-bucket edges around powers of two, and huge values.
+fn arb_ns() -> impl Strategy<Value = u64> {
+    (0u32..60, 0u64..1u64 << 20).prop_map(|(shift, jitter)| (1u64 << shift).wrapping_add(jitter))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// With no samples, every statistic reads as zero for any quantile.
+    #[test]
+    fn empty_histogram_is_all_zeros(q in 0.0f64..1.0) {
+        let h = Histogram::new();
+        prop_assert_eq!(h.count(), 0);
+        prop_assert_eq!(h.percentile(q), 0);
+        prop_assert_eq!(h.min_ns(), 0);
+        prop_assert_eq!(h.max_ns(), 0);
+        prop_assert_eq!(h.mean_ns(), 0.0);
+    }
+
+    /// A single sample is reported exactly at every quantile: the bucket
+    /// edge is clamped to the true max, so quantization cannot show.
+    #[test]
+    fn single_sample_is_exact_at_every_quantile(v in arb_ns(), q in 0.0f64..1.0) {
+        let mut h = Histogram::new();
+        h.observe(v);
+        prop_assert_eq!(h.count(), 1);
+        prop_assert_eq!(h.min_ns(), v);
+        prop_assert_eq!(h.max_ns(), v);
+        prop_assert_eq!(h.mean_ns(), v as f64);
+        prop_assert_eq!(h.percentile(q), v);
+        prop_assert_eq!(h.percentile(1.0), v);
+    }
+
+    /// Quantiles are monotone in `q`, never exceed the true max, and the
+    /// extreme quantiles respect the recorded range even with samples
+    /// straddling sub-bucket boundaries.
+    #[test]
+    fn percentiles_are_monotone_and_bounded(
+        values in prop::collection::vec(arb_ns(), 1..200),
+        qs in prop::collection::vec(0.0f64..1.0, 2..8),
+    ) {
+        let mut h = Histogram::new();
+        let mut max = 0u64;
+        let mut min = u64::MAX;
+        for &v in &values {
+            h.observe(v);
+            max = max.max(v);
+            min = min.min(v);
+        }
+        let mut qs = qs;
+        qs.sort_by(f64::total_cmp);
+        let mut prev = 0u64;
+        for &q in &qs {
+            let p = h.percentile(q);
+            prop_assert!(p >= prev, "percentile not monotone: p({q}) = {p} < {prev}");
+            prop_assert!(p <= max, "p({q}) = {p} exceeds max {max}");
+            prev = p;
+        }
+        prop_assert_eq!(h.percentile(1.0), max);
+        // p0 lands in the first occupied bucket; its upper edge is within
+        // one sub-bucket (1/16) of the smallest sample.
+        let p0 = h.percentile(0.0);
+        prop_assert!(p0 >= min, "p0 {p0} below min {min}");
+        prop_assert!(
+            p0 as f64 <= min as f64 * (1.0 + 1.0 / 16.0) + 1.0,
+            "p0 {p0} too far above min {min}"
+        );
+    }
+
+    /// Exactly at and adjacent to sub-bucket boundaries (v = (16+s)·2^k
+    /// and its neighbors), quantization error stays within the documented
+    /// 1/16 relative bound.
+    #[test]
+    fn sub_bucket_boundaries_quantize_within_bound(
+        k in 0u32..55,
+        s in 0u64..16,
+        off in 0i64..3,
+    ) {
+        let edge = (16 + s) << k;
+        let v = edge.saturating_add_signed(off - 1); // edge-1, edge, edge+1
+        let mut h = Histogram::new();
+        h.observe(v);
+        h.observe(v.saturating_add(1));
+        // The lower sample's quantile may read from either sample's bucket,
+        // but never below itself nor beyond the 1/16 bound above the max.
+        let p50 = h.percentile(0.5);
+        prop_assert!(p50 >= v, "p50 {p50} below observed {v}");
+        prop_assert!(
+            p50 as f64 <= (v + 1) as f64 * (1.0 + 1.0 / 16.0) + 1.0,
+            "p50 {p50} out of bound for {v}"
+        );
+        prop_assert_eq!(h.percentile(1.0), v.saturating_add(1));
+    }
+
+    /// Merging preserves every quantile: merge(a, b) reports the same
+    /// percentiles as observing the union directly.
+    #[test]
+    fn merge_preserves_quantiles(
+        xs in prop::collection::vec(arb_ns(), 0..60),
+        ys in prop::collection::vec(arb_ns(), 0..60),
+    ) {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut u = Histogram::new();
+        for &v in &xs {
+            a.observe(v);
+            u.observe(v);
+        }
+        for &v in &ys {
+            b.observe(v);
+            u.observe(v);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), u.count());
+        prop_assert_eq!(a.sum_ns(), u.sum_ns());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(a.percentile(q), u.percentile(q), "q = {}", q);
+        }
+    }
+}

@@ -18,6 +18,8 @@
 //! Worst-case startup latency for a newly admitted stream is
 //! `round_time × (D + 1)` (Santos et al., as used in the paper).
 
+#![warn(missing_docs)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sim_disk::disk::{Disk, DiskConfig, Request};
@@ -56,6 +58,41 @@ impl Default for ServerConfig {
     }
 }
 
+impl ServerConfig {
+    /// The measurement spec for one (streams-per-disk, I/O size) point
+    /// under this server's policy parameters.
+    pub fn round_spec(&self, v: usize, io_sectors: u64) -> RoundSpec {
+        RoundSpec {
+            v,
+            io_sectors,
+            aligned: self.aligned,
+            rounds: self.rounds,
+            quantile: self.quantile,
+            bit_rate_mbps: self.bit_rate_mbps,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Everything one [`measure_rounds`] call needs besides the disk.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundSpec {
+    /// Streams per disk (requests per round).
+    pub v: usize,
+    /// Per-request size, sectors.
+    pub io_sectors: u64,
+    /// Track-aligned placement (traxtent server) or free placement.
+    pub aligned: bool,
+    /// Rounds to simulate.
+    pub rounds: usize,
+    /// Quantile reported as the admission round time.
+    pub quantile: f64,
+    /// Per-stream bit rate, megabits per second — sets the deadline.
+    pub bit_rate_mbps: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
 /// Measured behaviour of one (streams-per-disk, I/O size) operating point.
 #[derive(Debug, Clone, Copy)]
 pub struct RoundMeasurement {
@@ -67,25 +104,59 @@ pub struct RoundMeasurement {
     pub mean_round: SimDur,
     /// Admission round time (the configured quantile).
     pub quantile_round: SimDur,
+    /// Longest observed round.
+    pub max_round: SimDur,
+    /// Rounds simulated.
+    pub rounds: u64,
+    /// Rounds that overran the playback interval of one fetched I/O — each
+    /// is a glitch for every stream on the disk.
+    pub deadline_misses: u64,
+    /// Worst-case remaining stream-buffer occupancy, in parts per million
+    /// of one interval: `min over rounds of (playback − round) / playback`,
+    /// floored at zero. A healthy server stays near 1e6.
+    pub min_buffer_ppm: u64,
 }
 
-/// Simulates `rounds` rounds of `v` random requests of `io_sectors` each on
-/// one disk and returns the round-time distribution summary.
+impl RoundMeasurement {
+    /// Publishes the measurement under `videoserver.*`. Round counts and
+    /// misses are counters (summed across measurements); the worst round
+    /// and worst buffer drain are commutative high-water marks, so
+    /// concurrent exporters agree.
+    pub fn export_metrics(&self, reg: &traxtent::obs::Registry) {
+        reg.add("videoserver.rounds", self.rounds);
+        reg.add("videoserver.deadline_misses", self.deadline_misses);
+        reg.set_max("videoserver.max_round_us", self.max_round.as_ns() / 1_000);
+        reg.set_max(
+            "videoserver.buffer_drain_ppm",
+            1_000_000 - self.min_buffer_ppm.min(1_000_000),
+        );
+    }
+}
+
+/// Simulates `spec.rounds` rounds of `spec.v` random requests of
+/// `spec.io_sectors` each on one disk and returns the round-time
+/// distribution summary.
 ///
 /// Requests are drawn from the outermost zone — video servers place content
 /// on the outer, highest-bandwidth cylinders (as the Tiger server did), and
 /// that is also where request size equals track size for the aligned
 /// server. Requests within a round are sorted by LBN and issued together
 /// (queued at the drive); the round time is the completion of the last.
-pub fn measure_rounds(
-    config: &DiskConfig,
-    v: usize,
-    io_sectors: u64,
-    aligned: bool,
-    rounds: usize,
-    quantile: f64,
-    seed: u64,
-) -> RoundMeasurement {
+///
+/// `spec.bit_rate_mbps` sets the playback deadline: a round that takes
+/// longer than the interval one I/O sustains (`io_sectors × 512 × 8 /
+/// bit_rate`) counts as a deadline miss, and per-round slack feeds the
+/// `min_buffer_ppm` high-water mark.
+pub fn measure_rounds(config: &DiskConfig, spec: &RoundSpec) -> RoundMeasurement {
+    let &RoundSpec {
+        v,
+        io_sectors,
+        aligned,
+        rounds,
+        quantile,
+        bit_rate_mbps,
+        seed,
+    } = spec;
     assert!(v > 0 && rounds > 0);
     let mut disk = Disk::new(config.clone());
     let zone = disk.geometry().zones()[0];
@@ -122,11 +193,22 @@ pub fn measure_rounds(
         round_times.push((last - start).as_secs_f64());
         now = last;
     }
+    let playback = io_sectors as f64 * 512.0 * 8.0 / (bit_rate_mbps * 1e6);
+    let deadline_misses = round_times.iter().filter(|&&r| r > playback).count() as u64;
+    let min_slack = round_times
+        .iter()
+        .map(|&r| ((playback - r) / playback).max(0.0))
+        .fold(1.0f64, f64::min);
+    let max_round = round_times.iter().copied().fold(0.0f64, f64::max);
     RoundMeasurement {
         streams_per_disk: v,
         io_sectors,
         mean_round: SimDur::from_secs_f64(stats::mean(&round_times)),
         quantile_round: SimDur::from_secs_f64(stats::percentile(&round_times, quantile)),
+        max_round: SimDur::from_secs_f64(max_round),
+        rounds: rounds as u64,
+        deadline_misses,
+        min_buffer_ppm: (min_slack * 1e6) as u64,
     }
 }
 
@@ -147,6 +229,9 @@ pub mod soft {
         pub round_time: SimDur,
         /// `round_time × (disks + 1)`.
         pub startup_latency: SimDur,
+        /// The measurement behind the admission decision (deadline misses,
+        /// buffer occupancy) at the chosen I/O size.
+        pub measurement: RoundMeasurement,
     }
 
     /// Finds the smallest I/O size supporting `v` streams per disk: the
@@ -169,15 +254,7 @@ pub mod soft {
             if io * 512 * 8 > (1 << 33) {
                 break;
             }
-            let m = measure_rounds(
-                disk,
-                v,
-                io,
-                server.aligned,
-                server.rounds,
-                server.quantile,
-                server.seed,
-            );
+            let m = measure_rounds(disk, &server.round_spec(v, io));
             let playback =
                 SimDur::from_secs_f64(io as f64 * 512.0 * 8.0 / (server.bit_rate_mbps * 1e6));
             if m.quantile_round <= playback {
@@ -188,6 +265,7 @@ pub mod soft {
                     startup_latency: SimDur::from_ns(
                         m.quantile_round.as_ns() * (server.disks as u64 + 1),
                     ),
+                    measurement: m,
                 });
             }
         }
@@ -205,15 +283,7 @@ pub mod soft {
         let mut best = 0;
         let mut v = 1;
         while v <= 90 {
-            let m = measure_rounds(
-                disk,
-                v,
-                io_sectors,
-                server.aligned,
-                server.rounds,
-                server.quantile,
-                server.seed,
-            );
+            let m = measure_rounds(disk, &server.round_spec(v, io_sectors));
             let playback = SimDur::from_secs_f64(
                 io_sectors as f64 * 512.0 * 8.0 / (server.bit_rate_mbps * 1e6),
             );
@@ -289,12 +359,25 @@ mod tests {
     use super::*;
     use sim_disk::models;
 
+    /// A short 20-stream measurement spec for the tests.
+    fn spec(io_sectors: u64, aligned: bool, bit_rate_mbps: f64) -> RoundSpec {
+        RoundSpec {
+            v: 20,
+            io_sectors,
+            aligned,
+            rounds: 60,
+            quantile: 0.99,
+            bit_rate_mbps,
+            seed: 1,
+        }
+    }
+
     #[test]
     fn aligned_rounds_are_shorter() {
         let cfg = models::quantum_atlas_10k_ii();
         let io = cfg.geometry.track(0).lbn_count() as u64;
-        let a = measure_rounds(&cfg, 20, io, true, 60, 0.99, 1);
-        let u = measure_rounds(&cfg, 20, io, false, 60, 0.99, 1);
+        let a = measure_rounds(&cfg, &spec(io, true, 4.0));
+        let u = measure_rounds(&cfg, &spec(io, false, 4.0));
         assert!(
             a.mean_round < u.mean_round,
             "{} !< {}",
@@ -302,6 +385,30 @@ mod tests {
             u.mean_round
         );
         assert!(a.quantile_round >= a.mean_round);
+        assert!(a.max_round >= a.quantile_round);
+    }
+
+    #[test]
+    fn overloaded_rounds_miss_deadlines() {
+        let cfg = models::quantum_atlas_10k_ii();
+        let io = cfg.geometry.track(0).lbn_count() as u64;
+        // 20 streams at track-sized I/Os are comfortable at 4 Mb/s; at an
+        // absurd 400 Mb/s bit rate every round overruns the interval.
+        let ok = measure_rounds(&cfg, &spec(io, true, 4.0));
+        let bad = measure_rounds(&cfg, &spec(io, true, 400.0));
+        assert_eq!(ok.deadline_misses, 0, "feasible point misses nothing");
+        assert!(ok.min_buffer_ppm > 0);
+        assert_eq!(bad.deadline_misses, bad.rounds);
+        assert_eq!(bad.min_buffer_ppm, 0, "buffer fully drained");
+        let reg = traxtent::obs::Registry::new();
+        ok.export_metrics(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("videoserver.rounds"), Some(ok.rounds));
+        assert_eq!(snap.get("videoserver.deadline_misses"), Some(0));
+        assert_eq!(
+            snap.get("videoserver.buffer_drain_ppm"),
+            Some(1_000_000 - ok.min_buffer_ppm)
+        );
     }
 
     #[test]

@@ -24,6 +24,25 @@ pub struct AppResult {
     pub mean_request_bytes: f64,
 }
 
+impl AppResult {
+    /// Publishes the result under `workloads.app.*`, tagged with the
+    /// workload `name` (e.g. `workloads.app.scan.requests`). Request counts
+    /// and elapsed simulated time sum; the mean request size is recorded as
+    /// a high-water mark so parallel personalities exporting the same
+    /// workload commute.
+    pub fn export_metrics(&self, reg: &traxtent::obs::Registry, name: &str) {
+        reg.add(&format!("workloads.app.{name}.requests"), self.requests);
+        reg.add(
+            &format!("workloads.app.{name}.elapsed_us"),
+            self.elapsed.as_ns() / 1_000,
+        );
+        reg.set_max(
+            &format!("workloads.app.{name}.max_mean_request_bytes"),
+            self.mean_request_bytes as u64,
+        );
+    }
+}
+
 fn result_of(fs: &FileSystem, elapsed: SimDur) -> AppResult {
     let s = fs.stats();
     AppResult {
@@ -208,6 +227,23 @@ mod tests {
     /// first-zone tracks vs 256 KB clusters) with scaled-down files.
     fn atlas(p: Personality) -> FileSystem {
         mkfs(Disk::new(models::quantum_atlas_10k()), p)
+    }
+
+    #[test]
+    fn export_metrics_tags_the_workload() {
+        let r = scan(&mut fs(Personality::Unmodified), 4 * MB, 64 * 1024);
+        let reg = traxtent::obs::Registry::new();
+        r.export_metrics(&reg, "scan");
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("workloads.app.scan.requests"), Some(r.requests));
+        assert_eq!(
+            snap.get("workloads.app.scan.elapsed_us"),
+            Some(r.elapsed.as_ns() / 1_000)
+        );
+        assert_eq!(
+            snap.get("workloads.app.scan.max_mean_request_bytes"),
+            Some(r.mean_request_bytes as u64)
+        );
     }
 
     #[test]

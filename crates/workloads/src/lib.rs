@@ -7,5 +7,7 @@
 //!   large-file scan / diff / copy, a Postmark-like small-file transaction
 //!   mix, an SSH-build-like phase mix, and `head*`.
 
+#![warn(missing_docs)]
+
 pub mod apps;
 pub mod microbench;

@@ -156,6 +156,25 @@ impl RandomIoResult {
                 .collect::<Vec<_>>(),
         )
     }
+
+    /// Publishes the run under `workloads.randio.*`: the request count as a
+    /// counter, and the worst response time and disk efficiency as
+    /// commutative high-water marks (concurrent benchmark cells exporting
+    /// into one registry agree on the result).
+    pub fn export_metrics(&self, reg: &traxtent::obs::Registry, queue: QueueDepth) {
+        reg.add("workloads.randio.requests", self.completions.len() as u64);
+        let worst = self
+            .completions
+            .iter()
+            .map(|c| c.response_time().as_ns())
+            .max()
+            .unwrap_or(0);
+        reg.set_max("workloads.randio.max_response_us", worst / 1_000);
+        reg.set_max(
+            "workloads.randio.max_efficiency_ppm",
+            (self.efficiency(queue) * 1e6) as u64,
+        );
+    }
 }
 
 /// Runs a random-I/O microbenchmark on a fresh state of `disk`.
@@ -258,6 +277,25 @@ mod tests {
 
     fn atlas() -> Disk {
         Disk::new(models::quantum_atlas_10k_ii())
+    }
+
+    #[test]
+    fn export_metrics_summarizes_the_run() {
+        let mut d = atlas();
+        let spec = RandomIoSpec {
+            count: 50,
+            ..RandomIoSpec::reads(528, Alignment::TrackAligned, QueueDepth::Two)
+        };
+        let r = run_random_io(&mut d, &spec);
+        let reg = traxtent::obs::Registry::new();
+        r.export_metrics(&reg, QueueDepth::Two);
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("workloads.randio.requests"), Some(50));
+        assert!(snap.get("workloads.randio.max_response_us").unwrap() > 0);
+        assert_eq!(
+            snap.get("workloads.randio.max_efficiency_ppm"),
+            Some((r.efficiency(QueueDepth::Two) * 1e6) as u64)
+        );
     }
 
     #[test]
