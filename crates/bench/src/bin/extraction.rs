@@ -62,6 +62,19 @@ enum Job {
     AtlasGeneral,
 }
 
+/// Table row for an extraction run that reported an error (e.g. the drive
+/// refuses diagnostics, or faults defeated every retry) instead of a table.
+fn failed_row(disk: &str, variant: &str, algorithm: &str, err: &dixtrac::ExtractError) -> String {
+    row_string([
+        disk.into(),
+        variant.into(),
+        algorithm.into(),
+        "false".into(),
+        format!("failed: {err}"),
+        "-".into(),
+    ])
+}
+
 fn apply(variant: &Variant, cfg: DiskConfig) -> DiskConfig {
     match variant.1 {
         None => cfg,
@@ -106,7 +119,16 @@ fn main() {
                 contexts: 24,
                 ..GeneralConfig::default()
             };
-            let g = extract_general(&mut s, &gcfg);
+            let g = match extract_general(&mut s, &gcfg) {
+                Ok(g) => g,
+                Err(e) => {
+                    return (
+                        failed_row("SimTest", v.0, "general (timing)", &e),
+                        false,
+                        None,
+                    )
+                }
+            };
             g.export_metrics(&reg);
             let exact = g.boundaries == truth;
             let line = row_string([
@@ -123,7 +145,10 @@ fn main() {
             let disk = Disk::new(probe.wrap(apply(&v, models::small_test_disk())));
             let truth = ground_truth(&disk);
             let mut s = ScsiDisk::new(disk);
-            let r = extract_scsi(&mut s);
+            let r = match extract_scsi(&mut s) {
+                Ok(r) => r,
+                Err(e) => return (failed_row("SimTest", v.0, "scsi", &e), false, None),
+            };
             r.export_metrics(&reg);
             let exact = r.boundaries == truth;
             let line = row_string([
@@ -143,7 +168,16 @@ fn main() {
             let disk = Disk::new(probe.wrap(models::quantum_atlas_10k_ii()));
             let truth = ground_truth(&disk);
             let mut s = ScsiDisk::new(disk);
-            let r = extract_scsi(&mut s);
+            let r = match extract_scsi(&mut s) {
+                Ok(r) => r,
+                Err(e) => {
+                    return (
+                        failed_row("Atlas 10K II", "pristine", "scsi", &e),
+                        false,
+                        None,
+                    )
+                }
+            };
             r.export_metrics(&reg);
             let exact = r.boundaries == truth;
             let line = row_string([
@@ -163,7 +197,16 @@ fn main() {
             let disk = Disk::new(probe.wrap(models::quantum_atlas_10k_ii()));
             let truth = ground_truth(&disk);
             let mut s = ScsiDisk::new(disk);
-            let g = extract_general(&mut s, &GeneralConfig::default());
+            let g = match extract_general(&mut s, &GeneralConfig::default()) {
+                Ok(g) => g,
+                Err(e) => {
+                    return (
+                        failed_row("Atlas 10K II", "pristine", "general (timing)", &e),
+                        false,
+                        None,
+                    )
+                }
+            };
             g.export_metrics(&reg);
             let exact = g.boundaries == truth;
             let line = row_string([

@@ -21,6 +21,13 @@
 //! that shrinks sample counts for smoke testing. Simulation cells fan out
 //! across a worker pool (see [`exec`]); output is byte-identical at any
 //! thread count because results are merged back in submission order.
+//!
+//! Every binary also accepts `--faults <spec>` / `--fault-seed <n>` to run
+//! its figure against a deliberately unreliable drive (see
+//! [`sim_disk::fault::FaultConfig::parse_spec`] for the spec grammar).
+//! Fault decisions are a pure function of the fault seed and request
+//! identity, so faulty runs stay bit-reproducible at any `--threads`. The
+//! `fault_sweep` binary sweeps this axis systematically.
 
 #![warn(missing_docs)]
 
@@ -29,13 +36,14 @@ pub mod exec;
 pub mod manifest;
 
 use sim_disk::disk::DiskConfig;
+use sim_disk::fault::FaultConfig;
 use sim_disk::metrics::MetricsRegistry;
 use sim_disk::trace::{Fanout, JsonlSink, SharedSink, Tracer};
 use std::sync::{Arc, Mutex};
 
 /// Command-line convention shared by the binaries: `--quick`, `--seed N`,
-/// `--threads N`, `--trace <path>`, `--metrics`, plus binary-specific
-/// boolean flags.
+/// `--threads N`, `--trace <path>`, `--metrics`, `--faults <spec>`,
+/// `--fault-seed N`, plus binary-specific boolean flags.
 #[derive(Debug, Clone)]
 pub struct Cli {
     /// Reduced sample counts for fast smoke runs.
@@ -54,6 +62,11 @@ pub struct Cli {
     pub metrics: bool,
     /// Directory for the run manifest (`--manifest <dir>`), if requested.
     pub manifest: Option<String>,
+    /// Fault injection requested via `--faults <spec>` (see
+    /// [`FaultConfig::parse_spec`] for the grammar), with the seed from
+    /// `--fault-seed <n>`. `None` when the flag was absent: drives keep
+    /// their configs' own (default, fault-free) settings.
+    pub fault: Option<FaultConfig>,
     /// Binary-specific boolean flags that were passed (e.g. `--writes`).
     flags: Vec<String>,
 }
@@ -76,7 +89,8 @@ impl Cli {
                 eprintln!("error: {msg}");
                 eprintln!(
                     "usage: {name} [--quick] [--seed <n>] [--threads <n>] \
-                     [--trace <path>] [--metrics] [--manifest <dir>]{}",
+                     [--trace <path>] [--metrics] [--manifest <dir>] \
+                     [--faults <spec>] [--fault-seed <n>]{}",
                     {
                         let extra: String = known.iter().map(|f| format!(" [{f}]")).collect();
                         extra
@@ -99,9 +113,11 @@ impl Cli {
             trace: None,
             metrics: false,
             manifest: None,
+            fault: None,
             flags: Vec::new(),
         };
         let mut explicit_threads = false;
+        let mut fault_seed: Option<u64> = None;
         let mut args = args.into_iter();
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -123,6 +139,16 @@ impl Cli {
                 "--manifest" => {
                     cli.manifest = Some(args.next().ok_or("--manifest requires a directory")?);
                 }
+                "--faults" => {
+                    let spec = args
+                        .next()
+                        .ok_or("--faults requires a spec, e.g. `media=500,rot=gauss:0.05`")?;
+                    cli.fault =
+                        Some(FaultConfig::parse_spec(&spec).map_err(|e| format!("--faults: {e}"))?);
+                }
+                "--fault-seed" => {
+                    fault_seed = Some(parse_value(args.next(), "--fault-seed")?);
+                }
                 flag if known.contains(&flag) => cli.flags.push(a),
                 _ => return Err(format!("unrecognized argument `{a}`")),
             }
@@ -138,6 +164,13 @@ impl Cli {
                 );
             }
             cli.threads = 1;
+        }
+        match (&mut cli.fault, fault_seed) {
+            (Some(f), Some(seed)) => f.seed = seed,
+            (None, Some(_)) => {
+                return Err("--fault-seed only makes sense with --faults <spec>".into());
+            }
+            _ => {}
         }
         Ok(cli)
     }
@@ -188,7 +221,11 @@ impl Cli {
             1 => Some(Tracer::new(sinks.pop().expect("one sink"))),
             _ => Some(Tracer::from_sink(Fanout::new(sinks))),
         };
-        Probe { tracer, metrics }
+        Probe {
+            tracer,
+            metrics,
+            fault: self.fault,
+        }
     }
 }
 
@@ -203,14 +240,16 @@ impl Cli {
 pub struct Probe {
     tracer: Option<Tracer>,
     metrics: Option<Arc<Mutex<MetricsRegistry>>>,
+    fault: Option<FaultConfig>,
 }
 
 impl Probe {
-    /// An inert probe (no tracing, no metrics).
+    /// An inert probe (no tracing, no metrics, no fault injection).
     pub fn disabled() -> Self {
         Probe {
             tracer: None,
             metrics: None,
+            fault: None,
         }
     }
 
@@ -221,10 +260,15 @@ impl Probe {
 
     /// Points `config` at the probe's sink (no-op for an inert probe), so
     /// every drive built from it — directly or deep inside a file-system
-    /// layer — reports there.
+    /// layer — reports there. When the run asked for fault injection
+    /// (`--faults`), the fault config is stamped on here too, so every
+    /// drive the binary builds misbehaves identically.
     pub fn attach(&self, config: &mut DiskConfig) {
         if let Some(t) = &self.tracer {
             config.tracer = Some(t.clone());
+        }
+        if let Some(f) = self.fault {
+            config.fault = f;
         }
     }
 
@@ -361,6 +405,64 @@ mod tests {
         // Manifests do not constrain the thread count.
         let cli = Cli::parse_args(args(&["--manifest", "m", "--threads", "4"]), &[]).unwrap();
         assert_eq!(cli.threads, 4);
+    }
+
+    #[test]
+    fn fault_flags_parse_into_a_config() {
+        let cli = Cli::parse_args(args(&[]), &[]).unwrap();
+        assert!(cli.fault.is_none());
+
+        let cli = Cli::parse_args(
+            args(&[
+                "--faults",
+                "media=500,rot=gauss:0.05,nodiag",
+                "--fault-seed",
+                "99",
+            ]),
+            &[],
+        )
+        .unwrap();
+        let f = cli.fault.expect("fault config parsed");
+        assert_eq!(f.media_per_million, 500);
+        assert_eq!(f.rot_jitter, sim_disk::fault::Jitter::Gaussian(0.05));
+        assert!(f.diagnostics_unsupported);
+        assert_eq!(f.seed, 99);
+
+        // Flag order must not matter for the seed.
+        let cli = Cli::parse_args(
+            args(&["--fault-seed", "7", "--faults", "transient=100"]),
+            &[],
+        )
+        .unwrap();
+        assert_eq!(cli.fault.unwrap().seed, 7);
+    }
+
+    #[test]
+    fn malformed_fault_flags_are_errors_not_panics() {
+        let err = Cli::parse_args(args(&["--faults"]), &[]).unwrap_err();
+        assert!(err.contains("--faults"), "{err}");
+        let err = Cli::parse_args(args(&["--faults", "media=lots"]), &[]).unwrap_err();
+        assert!(err.contains("per-million"), "{err}");
+        let err = Cli::parse_args(args(&["--fault-seed", "3"]), &[]).unwrap_err();
+        assert!(err.contains("--faults"), "{err}");
+        let err =
+            Cli::parse_args(args(&["--faults", "media=1", "--fault-seed", "x"]), &[]).unwrap_err();
+        assert!(err.contains("--fault-seed"), "{err}");
+    }
+
+    #[test]
+    fn probe_stamps_the_fault_config_on_attach() {
+        let cli = Cli::parse_args(args(&["--faults", "media=250,nodiag"]), &[]).unwrap();
+        let probe = cli.probe();
+        let cfg = probe.wrap(sim_disk::models::small_test_disk());
+        assert_eq!(cfg.fault.media_per_million, 250);
+        assert!(cfg.fault.diagnostics_unsupported);
+        // Without the flag, attach leaves the config's own faults alone.
+        let cli = Cli::parse_args(args(&[]), &[]).unwrap();
+        let mut cfg = sim_disk::models::small_test_disk();
+        cfg.fault.transient_per_million = 42;
+        let cfg = cli.probe().wrap(cfg);
+        assert_eq!(cfg.fault.transient_per_million, 42);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! 3. [`alloc_near`](TraxtentAllocator::alloc_near) — the closest free run
 //!    regardless of boundaries (the track-unaware fallback).
 
-use crate::boundaries::TrackBoundaries;
+use crate::boundaries::{ConfidentBoundaries, TrackBoundaries};
 use crate::extent::Extent;
 use std::collections::BTreeMap;
 
@@ -22,6 +22,11 @@ pub struct TraxtentAllocator {
     /// (adjacent runs are coalesced), all within `[0, capacity)`.
     free: BTreeMap<u64, u64>,
     free_sectors: u64,
+    /// Per-track trust mask from a noisy extraction; `None` means every
+    /// track's boundaries are trusted. Untrusted tracks are never handed
+    /// out by the track-aligned policies — only by the untracked
+    /// [`alloc_near`](Self::alloc_near) fallback.
+    trusted: Option<Vec<bool>>,
 }
 
 impl TraxtentAllocator {
@@ -34,6 +39,7 @@ impl TraxtentAllocator {
             boundaries,
             free,
             free_sectors: cap,
+            trusted: None,
         }
     }
 
@@ -44,7 +50,36 @@ impl TraxtentAllocator {
             boundaries,
             free: BTreeMap::new(),
             free_sectors: 0,
+            trusted: None,
         }
+    }
+
+    /// Creates an allocator from a noisy extraction: tracks whose
+    /// confidence falls below `threshold` are excluded from the
+    /// track-aligned policies ([`alloc_traxtent`](Self::alloc_traxtent) and
+    /// [`alloc_within_track`](Self::alloc_within_track)) — their boundaries
+    /// may be wrong, so alignment to them buys nothing. The space is still
+    /// served, untracked, by [`alloc_near`](Self::alloc_near).
+    pub fn with_confidence(boundaries: &ConfidentBoundaries, threshold: f64) -> Self {
+        let trusted = (0..boundaries.table().num_tracks())
+            .map(|i| boundaries.is_confident(i, threshold))
+            .collect();
+        let mut a = TraxtentAllocator::new(boundaries.table().clone());
+        a.trusted = Some(trusted);
+        a
+    }
+
+    /// Whether track `idx`'s boundaries are trusted for aligned placement
+    /// (always true for an allocator built without confidence data).
+    pub fn is_track_trusted(&self, idx: usize) -> bool {
+        self.trusted.as_ref().is_none_or(|t| t[idx])
+    }
+
+    /// Number of tracks excluded from aligned placement by low confidence.
+    pub fn untrusted_tracks(&self) -> usize {
+        self.trusted
+            .as_ref()
+            .map_or(0, |t| t.iter().filter(|&&x| !x).count())
     }
 
     /// The boundary table in use.
@@ -79,6 +114,9 @@ impl TraxtentAllocator {
             .boundaries
             .track_index(near.min(self.boundaries.capacity() - 1));
         for idx in ring(origin, n) {
+            if !self.is_track_trusted(idx) {
+                continue;
+            }
             let t = self.boundaries.track_extent(idx);
             if self.is_free(t) {
                 self.take(t);
@@ -102,6 +140,9 @@ impl TraxtentAllocator {
             .boundaries
             .track_index(near.min(self.boundaries.capacity() - 1));
         for idx in ring(origin, n) {
+            if !self.is_track_trusted(idx) {
+                continue;
+            }
             let t = self.boundaries.track_extent(idx);
             if let Some(e) = self.first_fit_within(t, len) {
                 self.take(e);
@@ -336,6 +377,55 @@ mod tests {
         let e = a.alloc_near(30, 399).unwrap();
         assert_eq!(e.start, 0);
         assert_eq!(e.len, 30);
+    }
+
+    #[test]
+    fn low_confidence_tracks_are_skipped_by_aligned_policies() {
+        // Tracks 3 and 4 came out of a noisy extraction below threshold.
+        let conf = vec![1.0, 1.0, 1.0, 0.4, 0.6, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let cb = ConfidentBoundaries::new(boundaries(), conf).unwrap();
+        let mut a = TraxtentAllocator::with_confidence(&cb, 0.9);
+        assert_eq!(a.untrusted_tracks(), 2);
+        assert!(!a.is_track_trusted(3));
+        assert!(a.is_track_trusted(5));
+
+        // A whole-track request near track 3 lands on a trusted neighbour.
+        let e = a.alloc_traxtent(350).unwrap();
+        let idx = a.boundaries().track_index(e.start);
+        assert!(idx != 3 && idx != 4, "allocated untrusted track {idx}");
+
+        // Within-track placement near track 4 avoids the untrusted region
+        // too, even though those sectors are free.
+        let e = a.alloc_within_track(50, 430).unwrap();
+        let idx = a.boundaries().track_index(e.start);
+        assert!(idx != 3 && idx != 4, "allocated untrusted track {idx}");
+
+        // The untracked fallback still serves the region.
+        let e = a.alloc_near(50, 330).unwrap();
+        assert_eq!(e.start, 330);
+    }
+
+    #[test]
+    fn fully_untrusted_table_degrades_to_untracked_only() {
+        let cb = ConfidentBoundaries::new(boundaries(), vec![0.0; 10]).unwrap();
+        let mut a = TraxtentAllocator::with_confidence(&cb, 0.5);
+        assert!(a.alloc_traxtent(0).is_none());
+        assert!(a.alloc_within_track(10, 0).is_none());
+        // Untracked allocation is unaffected.
+        assert!(a.alloc_near(150, 0).is_some());
+    }
+
+    #[test]
+    fn certain_confidence_changes_nothing() {
+        let cb = ConfidentBoundaries::certain(boundaries());
+        let mut gated = TraxtentAllocator::with_confidence(&cb, 0.9);
+        let mut plain = TraxtentAllocator::new(boundaries());
+        assert_eq!(gated.untrusted_tracks(), 0);
+        assert_eq!(gated.alloc_traxtent(350), plain.alloc_traxtent(350));
+        assert_eq!(
+            gated.alloc_within_track(33, 120),
+            plain.alloc_within_track(33, 120)
+        );
     }
 
     #[test]

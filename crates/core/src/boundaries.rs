@@ -21,6 +21,9 @@ pub enum BoundariesError {
     MissingOrigin,
     /// The declared capacity does not exceed the last track start.
     BadCapacity,
+    /// A confidence vector does not line up with the table's tracks, or
+    /// holds a value outside `[0, 1]`.
+    BadConfidence,
 }
 
 impl fmt::Display for BoundariesError {
@@ -33,6 +36,9 @@ impl fmt::Display for BoundariesError {
             BoundariesError::MissingOrigin => write!(f, "first track must start at lbn 0"),
             BoundariesError::BadCapacity => {
                 write!(f, "capacity must exceed the last track start")
+            }
+            BoundariesError::BadConfidence => {
+                write!(f, "confidence vector must hold one [0, 1] value per track")
             }
         }
     }
@@ -266,6 +272,91 @@ impl TrackBoundaries {
     }
 }
 
+/// A boundary table paired with per-track extraction confidence.
+///
+/// The SCSI-specific extractor reads boundaries from the drive's own
+/// address-translation diagnostics, so every track is certain. The general
+/// timing-based extractor votes over noisy latency measurements; under
+/// timing jitter some tracks come back with less than unanimous agreement.
+/// The allocator consults the confidence to decide, per track, whether
+/// track-aligned placement is trustworthy or whether it should degrade to
+/// untracked allocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfidentBoundaries {
+    table: TrackBoundaries,
+    confidence: Vec<f64>,
+}
+
+impl ConfidentBoundaries {
+    /// Pairs a boundary table with one confidence value per track.
+    ///
+    /// Fails with [`BoundariesError::BadConfidence`] when the vector's
+    /// length differs from the table's track count or any value falls
+    /// outside `[0, 1]`.
+    pub fn new(table: TrackBoundaries, confidence: Vec<f64>) -> Result<Self, BoundariesError> {
+        if confidence.len() != table.num_tracks() {
+            return Err(BoundariesError::BadConfidence);
+        }
+        if confidence.iter().any(|c| !(0.0..=1.0).contains(c)) {
+            return Err(BoundariesError::BadConfidence);
+        }
+        Ok(ConfidentBoundaries { table, confidence })
+    }
+
+    /// Wraps a table whose every track is fully trusted (confidence 1.0),
+    /// as produced by the exact SCSI-diagnostic extraction.
+    pub fn certain(table: TrackBoundaries) -> Self {
+        let confidence = vec![1.0; table.num_tracks()];
+        ConfidentBoundaries { table, confidence }
+    }
+
+    /// The underlying boundary table.
+    pub fn table(&self) -> &TrackBoundaries {
+        &self.table
+    }
+
+    /// Per-track confidence, indexed like the table's tracks.
+    pub fn confidence(&self) -> &[f64] {
+        &self.confidence
+    }
+
+    /// Confidence of track `i`. Panics if `i` is out of range.
+    pub fn track_confidence(&self, i: usize) -> f64 {
+        self.confidence[i]
+    }
+
+    /// Whether track `i`'s boundaries are trusted at `threshold` (inclusive).
+    pub fn is_confident(&self, i: usize, threshold: f64) -> bool {
+        self.confidence[i] >= threshold
+    }
+
+    /// Mean confidence across all tracks (1.0 for an empty-noise run).
+    pub fn mean_confidence(&self) -> f64 {
+        self.confidence.iter().sum::<f64>() / self.confidence.len() as f64
+    }
+
+    /// Fraction of tracks at or above `threshold`.
+    pub fn confident_fraction(&self, threshold: f64) -> f64 {
+        let n = self.confidence.iter().filter(|c| **c >= threshold).count();
+        n as f64 / self.confidence.len() as f64
+    }
+
+    /// Indices of tracks whose confidence falls below `threshold`.
+    pub fn low_confidence_tracks(&self, threshold: f64) -> Vec<usize> {
+        self.confidence
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c < threshold)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Consumes the wrapper, returning the bare table.
+    pub fn into_table(self) -> TrackBoundaries {
+        self.table
+    }
+}
+
 /// Iterator produced by [`TrackBoundaries::split_extent`].
 #[derive(Debug)]
 pub struct SplitExtent<'a> {
@@ -317,6 +408,42 @@ mod tests {
             BoundariesError::BadCapacity
         );
         assert!(TrackBoundaries::new(vec![0, 5], 6).is_ok());
+    }
+
+    #[test]
+    fn confidence_validates_length_and_range() {
+        let t = table();
+        assert_eq!(
+            ConfidentBoundaries::new(t.clone(), vec![1.0; 3]).unwrap_err(),
+            BoundariesError::BadConfidence
+        );
+        assert_eq!(
+            ConfidentBoundaries::new(t.clone(), vec![1.0, 0.5, 1.2, 1.0]).unwrap_err(),
+            BoundariesError::BadConfidence
+        );
+        assert!(ConfidentBoundaries::new(t, vec![1.0, 0.5, 0.0, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn certain_tables_trust_every_track() {
+        let c = ConfidentBoundaries::certain(table());
+        assert_eq!(c.confidence(), &[1.0; 4]);
+        assert_eq!(c.mean_confidence(), 1.0);
+        assert_eq!(c.confident_fraction(0.9), 1.0);
+        assert!(c.low_confidence_tracks(0.9).is_empty());
+        assert_eq!(c.into_table(), table());
+    }
+
+    #[test]
+    fn confidence_queries_single_out_weak_tracks() {
+        let c = ConfidentBoundaries::new(table(), vec![1.0, 0.6, 0.95, 1.0]).unwrap();
+        assert!(c.is_confident(0, 0.9));
+        assert!(!c.is_confident(1, 0.9));
+        assert_eq!(c.track_confidence(2), 0.95);
+        assert_eq!(c.low_confidence_tracks(0.9), vec![1]);
+        assert_eq!(c.confident_fraction(0.9), 0.75);
+        assert!((c.mean_confidence() - 0.8875).abs() < 1e-12);
+        assert_eq!(c.table().num_tracks(), 4);
     }
 
     #[test]

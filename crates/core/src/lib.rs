@@ -51,6 +51,6 @@ pub mod planner;
 pub mod stats;
 
 pub use alloc::TraxtentAllocator;
-pub use boundaries::{BoundariesError, TrackBoundaries};
+pub use boundaries::{BoundariesError, ConfidentBoundaries, TrackBoundaries};
 pub use extent::Extent;
 pub use planner::{PlanStatsSnapshot, RequestPlanner, StripePlanner};

@@ -22,6 +22,8 @@
 //!   paper: the common case (next track same size) is confirmed with two
 //!   probes.
 
+use crate::error::with_retries;
+use crate::error::{backoff, ExtractError, MAX_ATTEMPTS};
 use scsi::ScsiDisk;
 use sim_disk::{SimDur, SimTime};
 use traxtent::obs::Registry;
@@ -41,6 +43,11 @@ pub struct GeneralConfig {
     /// Residual rotational wait tolerated before re-aligning the probe
     /// phase, as a fraction of a revolution.
     pub rot_budget_frac: f64,
+    /// Timing probes per boundary decision; the majority wins and the
+    /// losing fraction lowers the boundary's confidence. Use an odd count
+    /// (3, 5) on drives with timing jitter; `1` reproduces the noise-free
+    /// single-probe behavior exactly.
+    pub votes: u32,
 }
 
 impl Default for GeneralConfig {
@@ -50,6 +57,7 @@ impl Default for GeneralConfig {
             calibration_phases: 32,
             cross_threshold: SimDur::from_micros_f64(250.0),
             rot_budget_frac: 1.0 / 32.0,
+            votes: 1,
         }
     }
 }
@@ -70,6 +78,10 @@ pub struct GeneralExtraction {
     pub counters: GeneralCounters,
     /// Simulated time spent in each step of the algorithm.
     pub steps: StepBreakdown,
+    /// Per-track confidence in `[0, 1]`: the worst majority-vote agreement
+    /// among the probe decisions that located the track's end boundary.
+    /// With `votes: 1` every entry is `1.0`.
+    pub confidence: Vec<f64>,
 }
 
 /// Activity counters of one general extraction.
@@ -105,6 +117,15 @@ pub struct StepBreakdown {
 }
 
 impl GeneralExtraction {
+    /// Mean per-track confidence (1.0 when every boundary decision was
+    /// unanimous).
+    pub fn mean_confidence(&self) -> f64 {
+        if self.confidence.is_empty() {
+            return 1.0;
+        }
+        self.confidence.iter().sum::<f64>() / self.confidence.len() as f64
+    }
+
     /// Publishes the extraction's counters and step times (in simulated
     /// microseconds) under `dixtrac.general.*`.
     pub fn export_metrics(&self, reg: &Registry) {
@@ -128,6 +149,10 @@ impl GeneralExtraction {
         reg.add("dixtrac.general.us.slope", s.slope.as_ns() / 1_000);
         reg.add("dixtrac.general.us.verify", s.verify.as_ns() / 1_000);
         reg.add("dixtrac.general.us.search", s.search.as_ns() / 1_000);
+        reg.add(
+            "dixtrac.general.confidence_ppm",
+            (self.mean_confidence() * 1e6) as u64,
+        );
     }
 }
 
@@ -178,18 +203,32 @@ struct Context {
     /// prediction fails (e.g. on zone changes, where the sector time moves).
     slope_at: Option<u64>,
     state: State,
-    /// Track starts found (first entry is the first boundary at or after the
-    /// region start).
-    found: Vec<u64>,
+    /// Worst vote agreement among the decisions since the last boundary.
+    cur_conf: f64,
+    /// Boundaries found, each with the confidence of the decisions that
+    /// located it (first entry is the first boundary at or after the region
+    /// start).
+    found: Vec<(u64, f64)>,
 }
 
 /// Runs the general extraction over the whole disk.
 ///
+/// Fails when the drive keeps aborting probes past the retry budget, or
+/// rejects a probe address outright. Needs no diagnostic commands, so it is
+/// the fallback when [`crate::extract_scsi`] reports
+/// [`ExtractError::DiagnosticsUnsupported`].
+///
 /// # Panics
 ///
 /// Panics if `config.contexts` is zero or exceeds the number of LBNs.
-pub fn extract_general(disk: &mut ScsiDisk, config: &GeneralConfig) -> GeneralExtraction {
+pub fn extract_general(
+    disk: &mut ScsiDisk,
+    config: &GeneralConfig,
+) -> Result<GeneralExtraction, ExtractError> {
     let capacity = disk.read_capacity();
+    if capacity == 0 {
+        return Err(ExtractError::ZeroCapacity);
+    }
     let rev = disk.revolution();
     assert!(config.contexts > 0, "need at least one context");
     assert!(
@@ -215,6 +254,7 @@ pub fn extract_general(disk: &mut ScsiDisk, config: &GeneralConfig) -> GeneralEx
                     best_r: SimDur::from_secs_f64(3600.0),
                     best_phase: SimDur::ZERO,
                 },
+                cur_conf: 1.0,
                 found: Vec::new(),
             }
         })
@@ -239,7 +279,7 @@ pub fn extract_general(disk: &mut ScsiDisk, config: &GeneralConfig) -> GeneralEx
                 config,
                 &mut probe_reads,
                 &mut counters,
-            );
+            )?;
             let spent = disk.elapsed() - before;
             *slot_of(&mut steps, slot) = *slot_of(&mut steps, slot) + spent;
             if matches!(ctx.state, State::Done) {
@@ -248,26 +288,39 @@ pub fn extract_general(disk: &mut ScsiDisk, config: &GeneralConfig) -> GeneralEx
         }
     }
 
-    // Merge: all discovered boundaries, plus the origin.
-    let mut starts: Vec<u64> = contexts
-        .iter()
-        .flat_map(|c| c.found.iter().copied())
-        .collect();
+    // Merge: all discovered boundaries, plus the origin. Where two contexts
+    // found the same boundary, keep the lower confidence (the cautious
+    // merge never overstates what the probes agreed on).
+    let mut conf_of: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+    for (b, conf) in contexts.iter().flat_map(|c| c.found.iter().copied()) {
+        let e = conf_of.entry(b).or_insert(conf);
+        *e = e.min(conf);
+    }
+    let mut starts: Vec<u64> = conf_of.keys().copied().collect();
     starts.push(0);
     starts.sort_unstable();
     starts.dedup();
     starts.retain(|&b| b < capacity);
-    let boundaries =
-        TrackBoundaries::new(starts, capacity).expect("merged boundary table is valid");
+    let boundaries = TrackBoundaries::new(starts, capacity)
+        .map_err(|_| ExtractError::InvalidTable("merged boundary table is invalid"))?;
+    // A track inherits the confidence of the boundary that ends it; the
+    // final track's end (the capacity) was never voted on and stays 1.0.
+    let confidence: Vec<f64> = (0..boundaries.num_tracks())
+        .map(|i| {
+            let e = boundaries.track_extent(i);
+            conf_of.get(&(e.start + e.len)).copied().unwrap_or(1.0)
+        })
+        .collect();
 
-    GeneralExtraction {
+    Ok(GeneralExtraction {
         probes_per_track: probe_reads as f64 / boundaries.num_tracks() as f64,
         probe_reads,
         elapsed: disk.elapsed(),
         boundaries,
         counters,
         steps,
-    }
+        confidence,
+    })
 }
 
 /// Which [`StepBreakdown`] slot a state's probes are charged to.
@@ -301,7 +354,7 @@ fn step(
     config: &GeneralConfig,
     probe_reads: &mut u64,
     counters: &mut GeneralCounters,
-) {
+) -> Result<(), ExtractError> {
     // Positioning write at the probe target itself: it parks the head on
     // the target track (making the probe's non-rotational cost constant
     // across the whole walk) and — because a write invalidates its sectors
@@ -311,19 +364,64 @@ fn step(
     // per track is sacrificed; the paper notes the destructiveness of
     // write-based probing, which is why the production path is the
     // SCSI-specific extractor.
-    let _ = disk.write_at(ctx.s, 1);
+    let anchor = ctx.s;
+    let _ = with_retries(disk, "write", anchor, |d| d.write_at(anchor, 1))?;
 
-    let probe = |disk: &mut ScsiDisk, lbn: u64, len: u64, phase: SimDur, n: &mut u64| -> SimDur {
-        *n += 1;
-        let now = disk.elapsed();
-        // Next instant at or after `now` whose offset within the revolution
-        // equals `phase`.
-        let rev_ns = rev.as_ns();
-        let now_off = now.as_ns() % rev_ns;
-        let wait = (phase.as_ns() + rev_ns - now_off) % rev_ns;
-        let at = now + SimDur::from_ns(wait);
-        let c = disk.read_at_time(lbn, len, at);
-        c.response_time()
+    let probe = |disk: &mut ScsiDisk,
+                 lbn: u64,
+                 len: u64,
+                 phase: SimDur,
+                 n: &mut u64|
+     -> Result<SimDur, ExtractError> {
+        let mut attempt = 0;
+        loop {
+            *n += 1;
+            let now = disk.elapsed();
+            // Next instant at or after `now` whose offset within the
+            // revolution equals `phase`.
+            let rev_ns = rev.as_ns();
+            let now_off = now.as_ns() % rev_ns;
+            let wait = (phase.as_ns() + rev_ns - now_off) % rev_ns;
+            let at = now + SimDur::from_ns(wait);
+            match disk.read_at_time(lbn, len, at) {
+                Ok(c) => return Ok(c.response_time()),
+                Err(e) if e.is_transient() => {
+                    // The rotation-synchronized issue instant is recomputed
+                    // on the next pass, so backing off never skews the
+                    // probe phase.
+                    attempt += 1;
+                    if attempt >= MAX_ATTEMPTS {
+                        return Err(ExtractError::RetriesExhausted {
+                            command: "read",
+                            lbn,
+                            attempts: attempt,
+                        });
+                    }
+                    disk.wait(backoff(attempt - 1));
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    };
+
+    // A measurement under `config.votes`: repeat the probe and keep the
+    // *minimum* response. Rotational noise only ever delays a response
+    // (the platter cannot present data early), so the smallest observation
+    // is the cleanest one — this keeps the calibrated phase, baseline, and
+    // slope from inheriting one unlucky draw and silently eating the
+    // rotational margin every later decision depends on. With `votes: 1`
+    // this is a single probe and no extra commands.
+    let measure = |disk: &mut ScsiDisk,
+                   len: u64,
+                   phase: SimDur,
+                   n: &mut u64|
+     -> Result<SimDur, ExtractError> {
+        let mut best = probe(disk, anchor, len, phase, n)?;
+        for _ in 1..config.votes.max(1) {
+            let _ = with_retries(disk, "write", anchor, |d| d.write_at(anchor, 1))?;
+            best = best.min(probe(disk, anchor, len, phase, n)?);
+        }
+        Ok(best)
     };
 
     // The linear model of §4.1.1: a non-crossing `read(s, n)` responds in
@@ -332,6 +430,34 @@ fn step(
     // end of the disk cross by definition.
     let crosses = |r: SimDur, baseline: SimDur, slope: SimDur, n: u64| -> bool {
         r > baseline + slope * (n - 1) + config.cross_threshold
+    };
+
+    // A boundary decision under `config.votes`: probe the same request
+    // repeatedly — each repeat preceded by a fresh positioning write so the
+    // firmware cache cannot answer it — and let the majority decide. The
+    // losing fraction is the decision's doubt. With `votes: 1` this is one
+    // probe and no extra commands, bit-identical to the noise-free path.
+    let vote = |disk: &mut ScsiDisk,
+                len: u64,
+                phase: SimDur,
+                baseline: SimDur,
+                slope: SimDur,
+                n: &mut u64|
+     -> Result<(bool, f64), ExtractError> {
+        let votes = config.votes.max(1);
+        let mut crossing = 0u32;
+        for v in 0..votes {
+            if v > 0 {
+                let _ = with_retries(disk, "write", anchor, |d| d.write_at(anchor, 1))?;
+            }
+            let r = probe(disk, anchor, len, phase, n)?;
+            if crosses(r, baseline, slope, len) {
+                crossing += 1;
+            }
+        }
+        let majority = crossing * 2 > votes;
+        let agree = f64::from(crossing.max(votes - crossing)) / f64::from(votes);
+        Ok((majority, agree))
     };
 
     match ctx.state {
@@ -343,7 +469,7 @@ fn step(
             counters.calibration_probes += 1;
             let phase =
                 SimDur::from_ns(rev.as_ns() * u64::from(i) / u64::from(config.calibration_phases));
-            let r = probe(disk, ctx.s, 1, phase, probe_reads);
+            let r = measure(disk, 1, phase, probe_reads)?;
             let (best_r, best_phase) = if r < best_r {
                 (r, phase)
             } else {
@@ -359,6 +485,21 @@ fn step(
                 ctx.phase = best_phase;
                 ctx.floor_r1 = ctx.floor_r1.min(best_r);
                 ctx.baseline = best_r;
+                if config.votes > 1 {
+                    // Voting means the caller expects noise. The calibrated
+                    // phase has ~zero rotational margin (it minimized the
+                    // response), so the smallest spindle jitter pushes the
+                    // probe past its sector and costs a spurious full
+                    // revolution. Issue a guard band early — the same
+                    // rev/128 the between-track baseline convergence
+                    // targets — and fold the extra wait into the model
+                    // baseline.
+                    let guard = SimDur::from_ns(rev.as_ns() / 128);
+                    ctx.phase = SimDur::from_ns(
+                        (ctx.phase.as_ns() + rev.as_ns() - guard.as_ns()) % rev.as_ns(),
+                    );
+                    ctx.baseline += guard;
+                }
                 ctx.state = State::SlotProbe {
                     i: 0,
                     r: [SimDur::ZERO; 3],
@@ -373,12 +514,12 @@ fn step(
                 ctx.slope = Some(SimDur::ZERO);
                 ctx.slope_at = Some(ctx.s);
                 ctx.state = next_measure_state(ctx, capacity);
-                return;
+                return Ok(());
             }
-            r[i as usize] = probe(disk, ctx.s, lens[i as usize], ctx.phase, probe_reads);
+            r[i as usize] = measure(disk, lens[i as usize], ctx.phase, probe_reads)?;
             if usize::from(i) + 1 < lens.len() {
                 ctx.state = State::SlotProbe { i: i + 1, r };
-                return;
+                return Ok(());
             }
             // Per-sector slope over three 16-sector windows. A slipped
             // defect or a track boundary inside a window only ever inflates
@@ -408,7 +549,7 @@ fn step(
             ctx.state = next_measure_state(ctx, capacity);
         }
         State::Baseline { attempts } => {
-            let r = probe(disk, ctx.s, 1, ctx.phase, probe_reads);
+            let r = measure(disk, 1, ctx.phase, probe_reads)?;
             ctx.floor_r1 = ctx.floor_r1.min(r);
             let excess = r.saturating_sub(ctx.floor_r1);
             let budget = SimDur::from_ns((rev.as_ns() as f64 * config.rot_budget_frac) as u64);
@@ -451,10 +592,18 @@ fn step(
                     lo: 1,
                     hi: capacity - ctx.s + 1,
                 };
-                return;
+                return Ok(());
             }
-            let r = probe(disk, ctx.s, p, ctx.phase, probe_reads);
-            if crosses(r, ctx.baseline, ctx.slope.expect("slope measured"), p) {
+            let (crossed, agree) = vote(
+                disk,
+                p,
+                ctx.phase,
+                ctx.baseline,
+                ctx.slope.expect("slope measured"),
+                probe_reads,
+            )?;
+            ctx.cur_conf = ctx.cur_conf.min(agree);
+            if crossed {
                 counters.mispredictions += 1;
                 if ctx.slope_at == Some(ctx.s) {
                     // The prediction overshot: bisect below it.
@@ -477,10 +626,18 @@ fn step(
                 // The predicted track would end exactly at (or past) the end
                 // of the disk.
                 finish_track(ctx, (capacity - ctx.s).min(p), capacity);
-                return;
+                return Ok(());
             }
-            let r = probe(disk, ctx.s, p + 1, ctx.phase, probe_reads);
-            if crosses(r, ctx.baseline, ctx.slope.expect("slope measured"), p + 1) {
+            let (crossed, agree) = vote(
+                disk,
+                p + 1,
+                ctx.phase,
+                ctx.baseline,
+                ctx.slope.expect("slope measured"),
+                probe_reads,
+            )?;
+            ctx.cur_conf = ctx.cur_conf.min(agree);
+            if crossed {
                 counters.verified_predictions += 1;
                 finish_track(ctx, p, capacity);
             } else if ctx.slope_at == Some(ctx.s) {
@@ -503,10 +660,18 @@ fn step(
                     lo,
                     hi: capacity - ctx.s + 1,
                 };
-                return;
+                return Ok(());
             }
-            let r = probe(disk, ctx.s, hi, ctx.phase, probe_reads);
-            if crosses(r, ctx.baseline, ctx.slope.expect("slope measured"), hi) {
+            let (crossed, agree) = vote(
+                disk,
+                hi,
+                ctx.phase,
+                ctx.baseline,
+                ctx.slope.expect("slope measured"),
+                probe_reads,
+            )?;
+            ctx.cur_conf = ctx.cur_conf.min(agree);
+            if crossed {
                 ctx.state = State::Bisect { lo, hi };
             } else {
                 ctx.state = State::SearchUp { lo: hi, hi: hi * 2 };
@@ -515,11 +680,19 @@ fn step(
         State::Bisect { lo, hi } => {
             if hi - lo <= 1 {
                 finish_track(ctx, lo, capacity);
-                return;
+                return Ok(());
             }
             let mid = lo + (hi - lo) / 2;
-            let r = probe(disk, ctx.s, mid, ctx.phase, probe_reads);
-            if crosses(r, ctx.baseline, ctx.slope.expect("slope measured"), mid) {
+            let (crossed, agree) = vote(
+                disk,
+                mid,
+                ctx.phase,
+                ctx.baseline,
+                ctx.slope.expect("slope measured"),
+                probe_reads,
+            )?;
+            ctx.cur_conf = ctx.cur_conf.min(agree);
+            if crossed {
                 ctx.state = State::Bisect { lo, hi: mid };
             } else {
                 ctx.state = State::Bisect { lo: mid, hi };
@@ -527,6 +700,7 @@ fn step(
         }
         State::Done => {}
     }
+    Ok(())
 }
 
 /// Chooses what to do at a fresh `s` once the baseline is trustworthy.
@@ -555,7 +729,8 @@ fn finish_track(ctx: &mut Context, spt: u64, capacity: u64) {
         ctx.state = State::Done;
         return;
     }
-    ctx.found.push(boundary);
+    ctx.found.push((boundary, ctx.cur_conf));
+    ctx.cur_conf = 1.0;
     ctx.s = boundary;
     if ctx.s >= ctx.region_end {
         ctx.state = State::Done;
@@ -595,7 +770,7 @@ mod tests {
         let disk = Disk::new(models::small_test_disk());
         let expect = ground_truth(&disk);
         let mut s = ScsiDisk::new(disk);
-        let got = extract_general(&mut s, &test_config());
+        let got = extract_general(&mut s, &test_config()).expect("extraction succeeds");
         assert_eq!(got.boundaries, expect);
         assert!(
             got.probes_per_track < 12.0,
@@ -616,7 +791,7 @@ mod tests {
         let disk = Disk::new(cfg);
         let expect = ground_truth(&disk);
         let mut s = ScsiDisk::new(disk);
-        let got = extract_general(&mut s, &test_config());
+        let got = extract_general(&mut s, &test_config()).expect("extraction succeeds");
         assert_eq!(got.boundaries, expect);
     }
 
@@ -632,7 +807,7 @@ mod tests {
         let disk = Disk::new(cfg);
         let expect = ground_truth(&disk);
         let mut s = ScsiDisk::new(disk);
-        let got = extract_general(&mut s, &test_config());
+        let got = extract_general(&mut s, &test_config()).expect("extraction succeeds");
         assert_eq!(got.boundaries, expect);
     }
 
@@ -640,7 +815,7 @@ mod tests {
     fn extraction_time_is_reported() {
         let disk = Disk::new(models::small_test_disk());
         let mut s = ScsiDisk::new(disk);
-        let got = extract_general(&mut s, &test_config());
+        let got = extract_general(&mut s, &test_config()).expect("extraction succeeds");
         assert!(got.elapsed > SimTime::ZERO);
         assert!(got.probe_reads > 0);
     }
@@ -649,7 +824,7 @@ mod tests {
     fn counters_and_step_times_account_for_the_run() {
         let disk = Disk::new(models::small_test_disk());
         let mut s = ScsiDisk::new(disk);
-        let got = extract_general(&mut s, &test_config());
+        let got = extract_general(&mut s, &test_config()).expect("extraction succeeds");
         let c = got.counters;
         assert!(c.calibration_probes > 0, "calibration always runs");
         assert!(

@@ -18,8 +18,72 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod general;
 pub mod scsi_probe;
 
+pub use error::ExtractError;
 pub use general::{extract_general, GeneralConfig, GeneralExtraction};
 pub use scsi_probe::{extract_scsi, SchemeGuess, ScsiExtraction};
+
+use scsi::ScsiDisk;
+use traxtent::boundaries::ConfidentBoundaries;
+
+/// Which extractor produced an [`AutoExtraction`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtractionMethod {
+    /// The SCSI-specific five-step extraction succeeded.
+    Scsi,
+    /// The drive refused diagnostics; the general timing-based extraction
+    /// ran instead.
+    GeneralFallback,
+}
+
+/// The result of [`extract_auto`]: boundaries with per-track confidence,
+/// plus which path produced them.
+#[derive(Debug, Clone)]
+pub struct AutoExtraction {
+    /// The extracted boundary table with per-track confidence.
+    pub boundaries: ConfidentBoundaries,
+    /// Which extractor ran to completion.
+    pub method: ExtractionMethod,
+    /// The SCSI extraction report, when that path succeeded.
+    pub scsi: Option<ScsiExtraction>,
+    /// The general extraction report, when the fallback ran.
+    pub general: Option<GeneralExtraction>,
+}
+
+/// Extracts track boundaries the way a deployment would: try the fast,
+/// exact SCSI-specific extractor first, and when the drive refuses the
+/// vendor diagnostic commands, degrade gracefully to the general
+/// timing-based extractor. Only a diagnostics refusal triggers the
+/// fallback; drive misbehavior that defeats retries on either path is
+/// reported, never papered over.
+pub fn extract_auto(
+    disk: &mut ScsiDisk,
+    config: &GeneralConfig,
+) -> Result<AutoExtraction, ExtractError> {
+    match extract_scsi(disk) {
+        Ok(scsi) => Ok(AutoExtraction {
+            boundaries: ConfidentBoundaries::certain(scsi.boundaries.clone()),
+            method: ExtractionMethod::Scsi,
+            scsi: Some(scsi),
+            general: None,
+        }),
+        Err(ExtractError::DiagnosticsUnsupported { .. }) => {
+            let general = extract_general(disk, config)?;
+            let boundaries =
+                ConfidentBoundaries::new(general.boundaries.clone(), general.confidence.clone())
+                    .map_err(|_| {
+                        ExtractError::InvalidTable("confidence table does not match boundaries")
+                    })?;
+            Ok(AutoExtraction {
+                boundaries,
+                method: ExtractionMethod::GeneralFallback,
+                scsi: None,
+                general: Some(general),
+            })
+        }
+        Err(other) => Err(other),
+    }
+}

@@ -19,12 +19,23 @@
 //! back to a translation binary search. On clean regions this costs ≈ 2
 //! translations per track — the paper reports 2.0–2.3.
 
+use crate::error::{with_retries, ExtractError};
 use scsi::ScsiDisk;
 use sim_disk::defects::DefectLocation;
 use sim_disk::geometry::Pba;
 use sim_disk::SimDur;
 use traxtent::obs::Registry;
 use traxtent::TrackBoundaries;
+
+/// `SEND/RECEIVE DIAGNOSTIC` LBN→PBA with the standard retry policy.
+fn xlate(disk: &mut ScsiDisk, lbn: u64) -> Result<Pba, ExtractError> {
+    with_retries(disk, "translate_lbn", lbn, |d| d.translate_lbn(lbn))
+}
+
+/// `SEND/RECEIVE DIAGNOSTIC` PBA→LBN with the standard retry policy.
+fn xlate_pba(disk: &mut ScsiDisk, pba: Pba) -> Result<Option<u64>, ExtractError> {
+    with_retries(disk, "translate_pba", 0, |d| d.translate_pba(pba))
+}
 
 /// The extractor's best guess at the drive's spare-space scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,13 +139,17 @@ impl ScsiExtraction {
 
 /// Runs the five-step extraction.
 ///
-/// # Panics
-///
-/// Panics if the drive reports zero capacity.
-pub fn extract_scsi(disk: &mut ScsiDisk) -> ScsiExtraction {
+/// Fails with [`ExtractError::DiagnosticsUnsupported`] on drives without
+/// the vendor diagnostic pages (callers fall back to the general,
+/// timing-based extractor — see [`crate::extract_auto`]), and with the
+/// other [`ExtractError`] variants when the drive misbehaves beyond the
+/// retry policy's reach.
+pub fn extract_scsi(disk: &mut ScsiDisk) -> Result<ScsiExtraction, ExtractError> {
     disk.reset_counts();
     let capacity = disk.read_capacity();
-    assert!(capacity > 0, "drive reports zero capacity");
+    if capacity == 0 {
+        return Err(ExtractError::ZeroCapacity);
+    }
 
     let mut steps: Vec<StepCost> = Vec::with_capacity(6);
     let mut mark = (disk.counts().translations, disk.elapsed());
@@ -151,35 +166,35 @@ pub fn extract_scsi(disk: &mut ScsiDisk) -> ScsiExtraction {
     // Step 1: surfaces. Walk the first few track boundaries: the head
     // number increments with each new track until it wraps to the next
     // cylinder.
-    let surfaces = discover_surfaces(disk, capacity);
+    let surfaces = discover_surfaces(disk, capacity)?;
     record(disk, "surfaces", &mut steps);
 
     // Step 2: defect list.
-    let defects = disk.read_defect_list();
+    let defects = with_retries(disk, "read_defect_list", 0, |d| d.read_defect_list())?;
     record(disk, "defects", &mut steps);
 
     // Boundary walk with predict-and-verify (this subsumes step 4's
     // per-zone track sizes).
-    let walk = walk_boundaries(disk, capacity, surfaces);
-    let boundaries =
-        TrackBoundaries::new(walk.starts, capacity).expect("walk produces a valid table");
+    let walk = walk_boundaries(disk, capacity, surfaces)?;
+    let boundaries = TrackBoundaries::new(walk.starts, capacity)
+        .map_err(|_| ExtractError::InvalidTable("boundary walk produced an unordered table"))?;
     record(disk, "walk", &mut steps);
 
     // Step 4: zone summary from the boundary table + per-track cylinder
     // lookup on zone candidates.
-    let zones = discover_zones(disk, &boundaries);
+    let zones = discover_zones(disk, &boundaries)?;
     record(disk, "zones", &mut steps);
 
     // Step 3: spare-scheme classification (needs zones and defects).
-    let scheme = classify_scheme(disk, &boundaries, &zones, &defects, surfaces, capacity);
+    let scheme = classify_scheme(disk, &boundaries, &zones, &defects, surfaces, capacity)?;
     record(disk, "scheme", &mut steps);
 
     // Step 5: slipping vs remapping.
-    let policy = classify_policy(disk, &defects);
+    let policy = classify_policy(disk, &defects)?;
     record(disk, "policy", &mut steps);
 
     let translations = disk.counts().translations;
-    ScsiExtraction {
+    Ok(ScsiExtraction {
         translations_per_track: translations as f64 / boundaries.num_tracks() as f64,
         surfaces,
         zones,
@@ -190,36 +205,41 @@ pub fn extract_scsi(disk: &mut ScsiDisk) -> ScsiExtraction {
         mispredictions: walk.mispredictions,
         verified_predictions: walk.verified,
         steps,
-    }
+    })
 }
 
 /// Number of surfaces: translate LBN 0 and the starts of successive tracks
 /// until the cylinder number changes.
-fn discover_surfaces(disk: &mut ScsiDisk, capacity: u64) -> u32 {
-    let first = disk.translate_lbn(0);
+fn discover_surfaces(disk: &mut ScsiDisk, capacity: u64) -> Result<u32, ExtractError> {
+    let first = xlate(disk, 0)?;
     let mut surfaces = 1;
     let mut lbn = 0u64;
     loop {
         // Find the start of the next track (first LBN whose (cyl, head)
         // differs from the current track's).
-        let here = disk.translate_lbn(lbn);
-        let next = match next_track_start(disk, lbn, here, capacity) {
+        let here = xlate(disk, lbn)?;
+        let next = match next_track_start(disk, lbn, here, capacity)? {
             Some(n) => n,
             None => break,
         };
-        let pba = disk.translate_lbn(next);
+        let pba = xlate(disk, next)?;
         if pba.cyl != first.cyl {
             break;
         }
         surfaces += 1;
         lbn = next;
     }
-    surfaces
+    Ok(surfaces)
 }
 
 /// First LBN after `lbn` that lies on a different track, by exponential
 /// probing plus bisection. `here` is `lbn`'s translation.
-fn next_track_start(disk: &mut ScsiDisk, lbn: u64, here: Pba, capacity: u64) -> Option<u64> {
+fn next_track_start(
+    disk: &mut ScsiDisk,
+    lbn: u64,
+    here: Pba,
+    capacity: u64,
+) -> Result<Option<u64>, ExtractError> {
     let same_track = |p: Pba| p.cyl == here.cyl && p.head == here.head;
     // Exponential search for an upper bound.
     let mut step = 64u64;
@@ -228,13 +248,13 @@ fn next_track_start(disk: &mut ScsiDisk, lbn: u64, here: Pba, capacity: u64) -> 
         let probe = lbn + step;
         if probe >= capacity {
             // The disk may end inside this track.
-            let last = disk.translate_lbn(capacity - 1);
+            let last = xlate(disk, capacity - 1)?;
             if same_track(last) {
-                return None;
+                return Ok(None);
             }
             break capacity - 1;
         }
-        if !same_track(disk.translate_lbn(probe)) {
+        if !same_track(xlate(disk, probe)?) {
             break probe;
         }
         lo = probe;
@@ -243,13 +263,13 @@ fn next_track_start(disk: &mut ScsiDisk, lbn: u64, here: Pba, capacity: u64) -> 
     // Bisect to the first LBN off the track.
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
-        if same_track(disk.translate_lbn(mid)) {
+        if same_track(xlate(disk, mid)?) {
             lo = mid;
         } else {
             hi = mid;
         }
     }
-    Some(hi)
+    Ok(Some(hi))
 }
 
 /// The boundary walk's product: track starts plus fast-path accounting.
@@ -265,12 +285,16 @@ struct Walk {
 /// the length of the same-surface track one cylinder back when available
 /// (which absorbs per-cylinder spare patterns), falling back to the
 /// previous track's length.
-fn walk_boundaries(disk: &mut ScsiDisk, capacity: u64, surfaces: u32) -> Walk {
+fn walk_boundaries(
+    disk: &mut ScsiDisk,
+    capacity: u64,
+    surfaces: u32,
+) -> Result<Walk, ExtractError> {
     let mut mispredictions = 0u64;
     let mut verified = 0u64;
     let mut starts = vec![0u64];
     let mut s = 0u64;
-    let mut here = disk.translate_lbn(0);
+    let mut here = xlate(disk, 0)?;
     let mut predicted: Option<u64> = None;
     let period = surfaces as usize;
     loop {
@@ -285,18 +309,18 @@ fn walk_boundaries(disk: &mut ScsiDisk, capacity: u64, surfaces: u32) -> Walk {
         // track).
         let (next, next_here) = if let Some(p) = predicted.filter(|&p| s + p < capacity) {
             // Verify: last predicted sector on this track, next LBN off it.
-            let last = disk.translate_lbn(s + p - 1);
-            let over = disk.translate_lbn(s + p);
+            let last = xlate(disk, s + p - 1)?;
+            let over = xlate(disk, s + p)?;
             let same = |a: Pba, b: Pba| a.cyl == b.cyl && a.head == b.head;
             if same(last, here) && !same(over, here) {
                 verified += 1;
                 (Some(s + p), Some(over))
             } else {
                 mispredictions += 1;
-                (next_track_start(disk, s, here, capacity), None)
+                (next_track_start(disk, s, here, capacity)?, None)
             }
         } else {
-            (next_track_start(disk, s, here, capacity), None)
+            (next_track_start(disk, s, here, capacity)?, None)
         };
         match next {
             Some(n) => {
@@ -305,23 +329,26 @@ fn walk_boundaries(disk: &mut ScsiDisk, capacity: u64, surfaces: u32) -> Walk {
                 s = n;
                 here = match next_here {
                     Some(p) => p,
-                    None => disk.translate_lbn(s),
+                    None => xlate(disk, s)?,
                 };
             }
             None => break,
         }
     }
-    Walk {
+    Ok(Walk {
         starts,
         mispredictions,
         verified,
-    }
+    })
 }
 
 /// Summarizes zones: a zone change is a sustained change in nominal track
 /// length. The nominal length of a region is the mode of its track lengths
 /// (defective/spare tracks perturb individual lengths).
-fn discover_zones(disk: &mut ScsiDisk, tb: &TrackBoundaries) -> Vec<ZoneGuess> {
+fn discover_zones(
+    disk: &mut ScsiDisk,
+    tb: &TrackBoundaries,
+) -> Result<Vec<ZoneGuess>, ExtractError> {
     let mut zones: Vec<ZoneGuess> = Vec::new();
     let mut lens: Vec<(u64, u64)> = Vec::new(); // (start, len) per track
     for i in 0..tb.num_tracks() {
@@ -332,7 +359,7 @@ fn discover_zones(disk: &mut ScsiDisk, tb: &TrackBoundaries) -> Vec<ZoneGuess> {
     // changes and the *next* track agrees with the new length (so isolated
     // short tracks — defects, cylinder spares — do not open zones).
     let mut cur_spt = mode_of_next(&lens, 0);
-    let first_cyl = disk.translate_lbn(0).cyl;
+    let first_cyl = xlate(disk, 0)?.cyl;
     zones.push(ZoneGuess {
         first_lbn: 0,
         first_cyl,
@@ -352,7 +379,7 @@ fn discover_zones(disk: &mut ScsiDisk, tb: &TrackBoundaries) -> Vec<ZoneGuess> {
                 >= 6;
             if sustained == l && sustained != cur_spt && strong {
                 cur_spt = sustained;
-                let cyl = disk.translate_lbn(lens[i].0).cyl;
+                let cyl = xlate(disk, lens[i].0)?.cyl;
                 zones.push(ZoneGuess {
                     first_lbn: lens[i].0,
                     first_cyl: cyl,
@@ -362,7 +389,7 @@ fn discover_zones(disk: &mut ScsiDisk, tb: &TrackBoundaries) -> Vec<ZoneGuess> {
         }
         i += 1;
     }
-    zones
+    Ok(zones)
 }
 
 /// The most common track length among the next few tracks at `i`.
@@ -386,45 +413,47 @@ fn classify_scheme(
     defects: &[DefectLocation],
     surfaces: u32,
     capacity: u64,
-) -> SchemeGuess {
+) -> Result<SchemeGuess, ExtractError> {
     let n = tb.num_tracks();
     let surfaces = surfaces as usize;
 
     // (a) Whole spare tracks at the end of the disk: the last LBN's cylinder
     // is not the last cylinder the drive reports.
-    let last_pba = disk.translate_lbn(capacity - 1);
+    let last_pba = xlate(disk, capacity - 1)?;
     let geom = disk.mode_sense();
     if last_pba.cyl + 1 < geom.cylinders {
         let spare_cyls = geom.cylinders - 1 - last_pba.cyl;
         let tail_tracks = spare_cyls * geom.heads + (geom.heads - 1 - last_pba.head);
-        return SchemeGuess::TracksAtEnd(tail_tracks);
+        return Ok(SchemeGuess::TracksAtEnd(tail_tracks));
     }
 
     // (b) Per-cylinder spare sectors: on defect-free cylinders, the last
     // track of each cylinder is consistently shorter than its peers.
     // Examine a defect-free cylinder in the first zone away from zone edges.
     let defect_cyls: std::collections::BTreeSet<u32> = defects.iter().map(|d| d.cyl).collect();
-    let mut find_clean_cyl_tracks = |skip_defective: bool| -> Option<Vec<u64>> {
-        // Track indexes grouped per cylinder: tracks are in LBN order, so a
-        // cylinder is `surfaces` consecutive tracks on clean disks.
+    let find_clean_cyl_tracks = |disk: &mut ScsiDisk,
+                                 skip_defective: bool|
+     -> Result<Option<Vec<u64>>, ExtractError> {
+        // Track indexes grouped per cylinder: tracks are in LBN order,
+        // so a cylinder is `surfaces` consecutive tracks on clean disks.
         let mut i = 0usize;
         while i + surfaces <= n {
             let start = tb.track_extent(i).start;
-            let cyl = disk.translate_lbn(start).cyl;
+            let cyl = xlate(disk, start)?.cyl;
             if !skip_defective || !defect_cyls.contains(&cyl) {
                 let lens: Vec<u64> = (i..i + surfaces).map(|k| tb.track_extent(k).len).collect();
-                return Some(lens);
+                return Ok(Some(lens));
             }
             i += surfaces;
         }
-        None
+        Ok(None)
     };
-    if let Some(lens) = find_clean_cyl_tracks(true) {
+    if let Some(lens) = find_clean_cyl_tracks(disk, true)? {
         let head_len = lens[0];
         if lens[..lens.len() - 1].iter().all(|&l| l == head_len) {
             let last = *lens.last().expect("non-empty");
             if last < head_len {
-                return SchemeGuess::SectorsPerCylinder((head_len - last) as u32);
+                return Ok(SchemeGuess::SectorsPerCylinder((head_len - last) as u32));
             }
         }
     }
@@ -435,13 +464,13 @@ fn classify_scheme(
     // first LBN of the next.
     if zones.len() >= 2 {
         let z0_last_lbn = zones[1].first_lbn - 1;
-        let z0_last = disk.translate_lbn(z0_last_lbn);
-        let z1_first = disk.translate_lbn(zones[1].first_lbn);
+        let z0_last = xlate(disk, z0_last_lbn)?;
+        let z1_first = xlate(disk, zones[1].first_lbn)?;
         // On a spare-free disk the next zone starts on the next track.
         let track_gap = (u64::from(z1_first.cyl) * surfaces as u64 + u64::from(z1_first.head))
             .saturating_sub(u64::from(z0_last.cyl) * surfaces as u64 + u64::from(z0_last.head));
         if track_gap > 1 {
-            return SchemeGuess::TracksPerZone((track_gap - 1) as u32);
+            return Ok(SchemeGuess::TracksPerZone((track_gap - 1) as u32));
         }
     }
 
@@ -449,7 +478,7 @@ fn classify_scheme(
     // though the defect list names sectors on them.
     if !defects.is_empty() {
         let d = defects[0];
-        if let Some(lbn0) = first_lbn_on_track(disk, d, tb) {
+        if let Some(lbn0) = first_lbn_on_track(disk, d, tb)? {
             let (s, e) = tb.track_bounds(lbn0);
             let nominal = zones
                 .iter()
@@ -458,69 +487,75 @@ fn classify_scheme(
                 .map(|z| u64::from(z.spt))
                 .unwrap_or(e - s);
             if e - s == nominal {
-                return SchemeGuess::SectorsPerTrack;
+                return Ok(SchemeGuess::SectorsPerTrack);
             }
         }
         // Defects exist and shrink their track, but no reserve pattern was
         // detected above: defects slip into downstream spare space we could
         // not attribute; the closest classification is per-track absence.
-        return SchemeGuess::None;
+        return Ok(SchemeGuess::None);
     }
-    SchemeGuess::None
+    Ok(SchemeGuess::None)
 }
 
 /// Any LBN on the same physical track as the defect, found by probing slots
 /// around the defective one.
-fn first_lbn_on_track(disk: &mut ScsiDisk, d: DefectLocation, tb: &TrackBoundaries) -> Option<u64> {
+fn first_lbn_on_track(
+    disk: &mut ScsiDisk,
+    d: DefectLocation,
+    tb: &TrackBoundaries,
+) -> Result<Option<u64>, ExtractError> {
     for delta in 1..8u32 {
         for slot in [d.slot.checked_sub(delta), d.slot.checked_add(delta)]
             .into_iter()
             .flatten()
         {
-            if let Some(lbn) = disk.translate_pba(Pba::new(d.cyl, d.head, slot)) {
+            if let Some(lbn) = xlate_pba(disk, Pba::new(d.cyl, d.head, slot))? {
                 if lbn < tb.capacity() {
-                    return Some(lbn);
+                    return Ok(Some(lbn));
                 }
             }
         }
     }
-    None
+    Ok(None)
 }
 
 /// Step 5: for a sample of defects, decide whether the mapping slips past
 /// the defect or remaps it.
-fn classify_policy(disk: &mut ScsiDisk, defects: &[DefectLocation]) -> PolicyGuess {
+fn classify_policy(
+    disk: &mut ScsiDisk,
+    defects: &[DefectLocation],
+) -> Result<PolicyGuess, ExtractError> {
     for d in defects.iter().take(16) {
         // The LBN just before the defective slot (same track).
-        let before = match d
-            .slot
-            .checked_sub(1)
-            .and_then(|s| disk.translate_pba(Pba::new(d.cyl, d.head, s)))
-        {
-            Some(l) => l,
+        let before = match d.slot.checked_sub(1) {
+            Some(s) => match xlate_pba(disk, Pba::new(d.cyl, d.head, s))? {
+                Some(l) => l,
+                None => continue,
+            },
             None => continue,
         };
         // Where does the next LBN live?
-        let next = disk.translate_lbn(before + 1);
+        let next = xlate(disk, before + 1)?;
         if next.cyl == d.cyl && next.head == d.head && next.slot == d.slot + 1 {
-            return PolicyGuess::Slipping;
+            return Ok(PolicyGuess::Slipping);
         }
         // Not on the following slot: if some *other* location holds it and
         // the slot after the defect holds LBN `before + 2`-style continuity,
         // it is a remap.
-        let after = disk.translate_pba(Pba::new(d.cyl, d.head, d.slot + 1));
+        let after = xlate_pba(disk, Pba::new(d.cyl, d.head, d.slot + 1))?;
         if after == Some(before + 2) {
-            return PolicyGuess::Remapping;
+            return Ok(PolicyGuess::Remapping);
         }
         // Otherwise the defect sits at a track edge or in spare space; try
         // the next one.
     }
     if defects.is_empty() {
-        PolicyGuess::Unknown
+        Ok(PolicyGuess::Unknown)
     } else {
         // Defects exist but each sat at an awkward edge; fall back to
         // checking whether any defective-slot LBN was relocated.
-        PolicyGuess::Slipping
+        Ok(PolicyGuess::Slipping)
     }
 }
 
@@ -545,7 +580,7 @@ mod tests {
         let disk = Disk::new(cfg);
         let expect = ground_truth_boundaries(&disk);
         let mut s = ScsiDisk::new(disk);
-        let got = extract_scsi(&mut s);
+        let got = extract_scsi(&mut s).expect("extraction succeeds");
         assert_eq!(
             got.boundaries, expect,
             "extracted boundaries differ from ground truth"
@@ -678,9 +713,21 @@ mod tests {
         );
         let disk = Disk::new(cfg);
         let mut s = ScsiDisk::new(disk);
-        let got = extract_scsi(&mut s);
+        let got = extract_scsi(&mut s).expect("extraction succeeds");
         assert_eq!(got.policy, PolicyGuess::Remapping);
         assert_eq!(got.scheme, SchemeGuess::SectorsPerCylinder(8));
+    }
+
+    #[test]
+    fn unsupported_diagnostics_abort_with_the_fallback_signal() {
+        let mut cfg = models::small_test_disk();
+        cfg.fault.diagnostics_unsupported = true;
+        let mut s = ScsiDisk::new(Disk::new(cfg));
+        let err = extract_scsi(&mut s).expect_err("no diagnostics, no SCSI extraction");
+        assert!(matches!(
+            err,
+            crate::error::ExtractError::DiagnosticsUnsupported { .. }
+        ));
     }
 
     #[test]

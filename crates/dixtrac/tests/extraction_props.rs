@@ -77,6 +77,7 @@ fn disk_for(spec: GeometrySpec) -> Option<Disk> {
         bus: BusConfig::in_order(160.0),
         cache: CacheConfig::default(),
         tracer: None,
+        fault: Default::default(),
     }))
 }
 
@@ -101,7 +102,7 @@ proptest! {
         if let Some(disk) = disk_for(spec) {
             let truth = ground_truth(&disk);
             let mut s = ScsiDisk::new(disk);
-            let r = extract_scsi(&mut s);
+            let r = extract_scsi(&mut s).expect("fault-free extraction succeeds");
             prop_assert_eq!(r.boundaries, truth);
         }
     }
@@ -119,8 +120,37 @@ proptest! {
             let truth = ground_truth(&disk);
             let mut s = ScsiDisk::new(disk);
             let cfg = GeneralConfig { contexts: 16, ..GeneralConfig::default() };
-            let g = extract_general(&mut s, &cfg);
+            let g = extract_general(&mut s, &cfg).expect("fault-free extraction succeeds");
             prop_assert_eq!(g.boundaries, truth);
+        }
+    }
+
+    /// Majority voting keeps the timing-only extractor exact under
+    /// rotational jitter smaller than half a sector time — the noise regime
+    /// where a single probe can land a measurement on the wrong side of the
+    /// decision threshold but the vote cannot.
+    #[test]
+    fn majority_vote_converges_under_sub_sector_jitter(
+        spec in arb_slip_spec(),
+        seed in 1u64..u64::MAX,
+    ) {
+        let max_spt = spec.zones.iter().map(|z| z.spt).max().unwrap_or(1);
+        if let Some(disk) = disk_for(spec) {
+            let truth = ground_truth(&disk);
+            // Rotational jitter is drawn as a fraction of one revolution;
+            // cap the draw at 0.4 sector times, safely below half a sector.
+            let mut cfg = disk.config().clone();
+            cfg.fault.rot_jitter = sim_disk::fault::Jitter::Uniform(0.4 / f64::from(max_spt));
+            cfg.fault.seed = seed;
+            let mut s = ScsiDisk::new(Disk::new(cfg));
+            let gcfg = GeneralConfig { contexts: 16, votes: 5, ..GeneralConfig::default() };
+            let g = extract_general(&mut s, &gcfg).expect("jittered extraction succeeds");
+            prop_assert_eq!(&g.boundaries, &truth);
+            // Every boundary was carried by a majority, so no track's
+            // confidence can sit at or below one half.
+            for (i, c) in g.confidence.iter().enumerate() {
+                prop_assert!(*c > 0.5, "track {} confidence {} not a majority", i, c);
+            }
         }
     }
 }

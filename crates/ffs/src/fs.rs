@@ -114,6 +114,24 @@ impl FileSystem {
         let boundaries = boundaries_of(&disk);
         let capacity = disk.geometry().capacity_lbns();
         let layout = Layout::format(personality, boundaries, capacity);
+        Self::with_layout(disk, layout)
+    }
+
+    /// Mounts a freshly formatted file system whose boundary table came
+    /// from a noisy extraction: tracks below `threshold` confidence are
+    /// handled untracked (see [`Layout::format_confident`]).
+    pub fn format_confident(
+        disk: Disk,
+        personality: Personality,
+        boundaries: &traxtent::ConfidentBoundaries,
+        threshold: f64,
+    ) -> Self {
+        let capacity = disk.geometry().capacity_lbns();
+        let layout = Layout::format_confident(personality, boundaries, threshold, capacity);
+        Self::with_layout(disk, layout)
+    }
+
+    fn with_layout(disk: Disk, layout: Layout) -> Self {
         FileSystem {
             disk,
             layout,
@@ -359,7 +377,12 @@ impl FileSystem {
                 }
             }
             Personality::Traxtent => {
-                if !inode.nonseq_seen {
+                if !self.layout.block_trusted(db) {
+                    // The extraction was not confident about this track's
+                    // boundaries; clipping at them would be arbitrary.
+                    // Degrade to the unmodified sizing.
+                    (seq + 1).min(contig).min(self.cluster_cap)
+                } else if !inode.nonseq_seen {
                     // Fetch the rest of the traxtent, never crossing a
                     // track boundary (§4.2.2, "traxtent-sized access").
                     contig.min(self.layout.traxtent_run(db))
@@ -456,7 +479,9 @@ impl FileSystem {
     /// out (asynchronously: the clock does not advance).
     fn maybe_commit_cluster(&mut self, db: u64) {
         let limit = match self.layout.personality() {
-            Personality::Traxtent => self.layout.traxtent_run(run_start(&self.cache, db)),
+            Personality::Traxtent if self.layout.block_trusted(run_start(&self.cache, db)) => {
+                self.layout.traxtent_run(run_start(&self.cache, db))
+            }
             _ => self.cluster_cap,
         };
         // Find the dirty run around db.
@@ -512,7 +537,9 @@ impl FileSystem {
             let mut remaining = len;
             while remaining > 0 {
                 let chunk = match self.layout.personality() {
-                    Personality::Traxtent => remaining.min(self.layout.traxtent_run(at)),
+                    Personality::Traxtent if self.layout.block_trusted(at) => {
+                        remaining.min(self.layout.traxtent_run(at))
+                    }
                     _ => remaining.min(self.cluster_cap),
                 };
                 self.write_run(at, chunk);

@@ -1,7 +1,7 @@
 //! On-disk layout: block groups, free-block bitmaps, excluded blocks, and
 //! the allocation policies of the three FFS personalities.
 
-use traxtent::TrackBoundaries;
+use traxtent::{ConfidentBoundaries, TrackBoundaries};
 
 /// Sectors per file-system block (8 KB blocks over 512-byte sectors).
 pub const BLOCK_SECTORS: u64 = 16;
@@ -51,6 +51,11 @@ pub struct Layout {
     excluded: Vec<bool>,
     free_count: u64,
     alloc_stats: AllocStats,
+    /// Per-track trust mask from a noisy extraction; empty means every
+    /// track is trusted. Untrusted tracks get no boundary exclusions and
+    /// no track-aligned placement — the file system treats them exactly
+    /// like the unmodified personality would (untracked allocation).
+    trusted: Vec<bool>,
 }
 
 impl Layout {
@@ -67,11 +72,48 @@ impl Layout {
         boundaries: TrackBoundaries,
         capacity_lbns: u64,
     ) -> Self {
+        Self::build(personality, boundaries, capacity_lbns, Vec::new())
+    }
+
+    /// Like [`format`](Self::format), but from a noisy extraction: tracks
+    /// whose confidence falls below `threshold` are untrusted. The traxtent
+    /// personality degrades to untracked (unmodified-style) behaviour on
+    /// them — no blocks are excluded there, no track-aligned placement
+    /// targets them, and transfers touching them are not clipped at their
+    /// (possibly wrong) boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the disk is smaller than one block group.
+    pub fn format_confident(
+        personality: Personality,
+        boundaries: &ConfidentBoundaries,
+        threshold: f64,
+        capacity_lbns: u64,
+    ) -> Self {
+        let trusted: Vec<bool> = (0..boundaries.table().num_tracks())
+            .map(|i| boundaries.is_confident(i, threshold))
+            .collect();
+        Self::build(
+            personality,
+            boundaries.table().clone(),
+            capacity_lbns,
+            trusted,
+        )
+    }
+
+    fn build(
+        personality: Personality,
+        boundaries: TrackBoundaries,
+        capacity_lbns: u64,
+        trusted: Vec<bool>,
+    ) -> Self {
         let blocks = capacity_lbns / BLOCK_SECTORS;
         assert!(
             blocks >= BLOCKS_PER_GROUP,
             "disk too small for one block group"
         );
+        let track_trusted = |lbn: u64| trusted.is_empty() || trusted[boundaries.track_index(lbn)];
         let mut excluded = vec![false; blocks as usize];
         let mut free = vec![true; blocks as usize];
         let mut free_count = blocks;
@@ -80,7 +122,7 @@ impl Layout {
                 let first = b * BLOCK_SECTORS;
                 let last = first + BLOCK_SECTORS - 1;
                 let (_, track_end) = boundaries.track_bounds(first);
-                if last >= track_end {
+                if last >= track_end && track_trusted(first) {
                     excluded[b as usize] = true;
                     free[b as usize] = false;
                     free_count -= 1;
@@ -95,7 +137,23 @@ impl Layout {
             excluded,
             free_count,
             alloc_stats: AllocStats::default(),
+            trusted,
         }
+    }
+
+    /// Whether the track holding block `b` has trustworthy boundaries
+    /// (always true for a layout formatted without confidence data).
+    pub fn block_trusted(&self, b: u64) -> bool {
+        self.trusted.is_empty() || self.trusted[self.boundaries.track_index(self.block_to_lbn(b))]
+    }
+
+    /// Fraction of tracks whose boundaries are trusted (1.0 without
+    /// confidence data).
+    pub fn trusted_fraction(&self) -> f64 {
+        if self.trusted.is_empty() {
+            return 1.0;
+        }
+        self.trusted.iter().filter(|&&t| t).count() as f64 / self.trusted.len() as f64
     }
 
     /// The personality this layout was formatted with.
@@ -300,6 +358,9 @@ impl Layout {
             if idx >= n {
                 continue;
             }
+            if !self.trusted.is_empty() && !self.trusted[idx] {
+                continue;
+            }
             let t = self.boundaries.track_extent(idx);
             // Blocks fully inside this track.
             let first_block = t.start.div_ceil(BLOCK_SECTORS);
@@ -365,6 +426,60 @@ mod tests {
             "{}",
             l.excluded_fraction()
         );
+    }
+
+    #[test]
+    fn untrusted_tracks_get_no_exclusions_and_no_aligned_placement() {
+        // Tracks 0 and 1 fall below threshold; the rest are certain.
+        let mut conf = vec![1.0; 400];
+        conf[0] = 0.3;
+        conf[1] = 0.5;
+        let cb = ConfidentBoundaries::new(boundaries(), conf).unwrap();
+        let l = Layout::format_confident(Personality::Traxtent, &cb, 0.9, 400 * 200);
+
+        // Block 12 straddles track 0's boundary but that boundary is not
+        // trusted, so it stays usable; track 2's straddler (block 37 spans
+        // [592, 608) across the 600 boundary) is excluded as usual.
+        assert!(!l.is_excluded(12));
+        assert!(l.is_excluded(37));
+        assert!(!l.block_trusted(0));
+        assert!(l.block_trusted(30));
+        assert!((l.trusted_fraction() - 398.0 / 400.0).abs() < 1e-12);
+
+        // Track-aligned placement near the untrusted region jumps to the
+        // first trusted track instead.
+        let mut l = l;
+        let b = l.alloc_next(None, 8).expect("space");
+        let track = cb.table().track_index(b * BLOCK_SECTORS);
+        assert!(track >= 2, "aligned placement used untrusted track {track}");
+        let s = l.alloc_stats();
+        assert_eq!(s.track_aligned, 1);
+        assert_eq!(s.fallback, 0);
+    }
+
+    #[test]
+    fn fully_untrusted_layout_behaves_untracked() {
+        let cb = ConfidentBoundaries::new(boundaries(), vec![0.0; 400]).unwrap();
+        let mut l = Layout::format_confident(Personality::Traxtent, &cb, 0.5, 400 * 200);
+        assert_eq!(l.excluded_fraction(), 0.0);
+        assert_eq!(l.trusted_fraction(), 0.0);
+        // Every placement is a fallback: the aligned policy has nowhere
+        // trusted to go.
+        let a = l.alloc_next(None, 8).expect("space");
+        l.alloc_next(Some(a), 8).expect("space");
+        let s = l.alloc_stats();
+        assert_eq!(s.track_aligned, 0);
+        assert!(s.fallback + s.sequential == 2);
+    }
+
+    #[test]
+    fn confident_format_with_certain_table_matches_plain_format() {
+        let cb = ConfidentBoundaries::certain(boundaries());
+        let confident = Layout::format_confident(Personality::Traxtent, &cb, 0.9, 400 * 200);
+        let plain = Layout::format(Personality::Traxtent, boundaries(), 400 * 200);
+        assert_eq!(confident.excluded_fraction(), plain.excluded_fraction());
+        assert_eq!(confident.free_blocks(), plain.free_blocks());
+        assert_eq!(confident.trusted_fraction(), 1.0);
     }
 
     #[test]

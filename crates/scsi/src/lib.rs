@@ -22,9 +22,93 @@
 
 use sim_disk::defects::DefectLocation;
 use sim_disk::disk::{Disk, Request};
+use sim_disk::fault::SenseKey;
 use sim_disk::geometry::Pba;
 use sim_disk::trace::TraceEvent;
 use sim_disk::{Completion, SimDur, SimTime};
+use std::fmt;
+
+/// A failed SCSI command, the way a host sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScsiError {
+    /// The drive returned CHECK CONDITION with sense data.
+    Check {
+        /// The sense key delivered with the condition.
+        sense: SenseKey,
+        /// The command that failed (e.g. `"read"`, `"translate_lbn"`).
+        command: &'static str,
+        /// The LBN the command addressed, when it addressed one.
+        lbn: Option<u64>,
+        /// Host time when the failure was delivered.
+        at: SimTime,
+    },
+    /// The drive does not implement the command at all (vendor diagnostic
+    /// pages disabled — ILLEGAL REQUEST / INVALID COMMAND OPERATION CODE).
+    Unsupported {
+        /// The unimplemented command.
+        command: &'static str,
+        /// Host time when the rejection was delivered.
+        at: SimTime,
+    },
+}
+
+impl ScsiError {
+    /// The command that failed.
+    pub fn command(&self) -> &'static str {
+        match self {
+            ScsiError::Check { command, .. } | ScsiError::Unsupported { command, .. } => command,
+        }
+    }
+
+    /// Host time when the failure was delivered.
+    pub fn at(&self) -> SimTime {
+        match self {
+            ScsiError::Check { at, .. } | ScsiError::Unsupported { at, .. } => *at,
+        }
+    }
+
+    /// Whether a fresh retry of the same command can succeed (ABORTED
+    /// COMMAND — transport noise, not a property of the address).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ScsiError::Check {
+                sense: SenseKey::AbortedCommand,
+                ..
+            }
+        )
+    }
+}
+
+impl fmt::Display for ScsiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScsiError::Check {
+                sense,
+                command,
+                lbn: Some(lbn),
+                at,
+            } => write!(
+                f,
+                "{command} at LBN {lbn}: CHECK CONDITION {sense} (t={at})"
+            ),
+            ScsiError::Check {
+                sense,
+                command,
+                lbn: None,
+                at,
+            } => write!(f, "{command}: CHECK CONDITION {sense} (t={at})"),
+            ScsiError::Unsupported { command, at } => {
+                write!(f, "{command}: command not supported by this drive (t={at})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScsiError {}
+
+/// Shorthand for results of SCSI commands.
+pub type ScsiResult<T> = Result<T, ScsiError>;
 
 /// Per-command-type counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -91,6 +175,18 @@ impl ScsiDisk {
         self.counts = CommandCounts::default();
     }
 
+    /// Lets host time pass without issuing a command (retry backoff).
+    pub fn wait(&mut self, dur: SimDur) {
+        self.now += dur;
+    }
+
+    /// Whether the drive implements the vendor diagnostic commands
+    /// (address translation, defect lists). Hosts learn this the hard way —
+    /// from [`ScsiError::Unsupported`] — but tests and reports may ask.
+    pub fn diagnostics_supported(&self) -> bool {
+        !self.disk.config().fault.diagnostics_unsupported
+    }
+
     /// Consumes the wrapper, returning the drive.
     pub fn into_inner(self) -> Disk {
         self.disk
@@ -137,67 +233,116 @@ impl ScsiDisk {
         }
     }
 
+    /// Runs one media command through the drive's fallible path, advancing
+    /// the host clock whether it completes or fails.
+    fn media(
+        &mut self,
+        command: &'static str,
+        req: Request,
+        at: SimTime,
+    ) -> ScsiResult<Completion> {
+        match self.disk.try_service(req, at) {
+            Ok(c) => {
+                self.now = c.completion;
+                Ok(c)
+            }
+            Err(fault) => {
+                // Sense delivery still costs the time the drive spent.
+                self.now = self.now.max(fault.at);
+                Err(ScsiError::Check {
+                    sense: fault.sense,
+                    command,
+                    lbn: Some(req.lbn),
+                    at: self.now,
+                })
+            }
+        }
+    }
+
     /// `READ(10)` at the current host clock: issues the read immediately and
     /// advances the clock to its completion. Returns the completion record
     /// (the host can only observe its timing, not the breakdown — extraction
-    /// code must use [`Completion::response_time`] only).
-    pub fn read_at(&mut self, lbn: u64, len: u64) -> Completion {
+    /// code must use [`Completion::response_time`] only). Fails with CHECK
+    /// CONDITION sense data when the drive aborts the command or rejects the
+    /// address.
+    pub fn read_at(&mut self, lbn: u64, len: u64) -> ScsiResult<Completion> {
         self.counts.reads += 1;
-        let c = self.disk.service(Request::read(lbn, len), self.now);
-        self.now = c.completion;
-        c
+        self.media("read", Request::read(lbn, len), self.now)
     }
 
     /// `READ(10)` issued at a chosen future instant (for rotation-
-    /// synchronized probing). The clock advances to the completion.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `at` is in the past.
-    pub fn read_at_time(&mut self, lbn: u64, len: u64, at: SimTime) -> Completion {
-        assert!(at >= self.now, "cannot issue in the past");
+    /// synchronized probing). The clock advances to the completion. An issue
+    /// instant in the past is rejected with ILLEGAL REQUEST.
+    pub fn read_at_time(&mut self, lbn: u64, len: u64, at: SimTime) -> ScsiResult<Completion> {
+        if at < self.now {
+            return Err(ScsiError::Check {
+                sense: SenseKey::IllegalRequest,
+                command: "read",
+                lbn: Some(lbn),
+                at: self.now,
+            });
+        }
         self.counts.reads += 1;
-        let c = self.disk.service(Request::read(lbn, len), at);
-        self.now = c.completion;
-        c
+        self.media("read", Request::read(lbn, len), at)
     }
 
     /// `WRITE(10)` at the current host clock.
-    pub fn write_at(&mut self, lbn: u64, len: u64) -> Completion {
+    pub fn write_at(&mut self, lbn: u64, len: u64) -> ScsiResult<Completion> {
         self.counts.writes += 1;
-        let c = self.disk.service(Request::write(lbn, len), self.now);
-        self.now = c.completion;
-        c
+        self.media("write", Request::write(lbn, len), self.now)
+    }
+
+    /// Rejects a diagnostic command on drives without the vendor pages.
+    fn diag_gate(&mut self, command: &'static str) -> ScsiResult<()> {
+        if self.disk.config().fault.diagnostics_unsupported {
+            // The rejection itself still takes a command round trip.
+            self.diag(command);
+            return Err(ScsiError::Unsupported {
+                command,
+                at: self.now,
+            });
+        }
+        Ok(())
     }
 
     /// `SEND/RECEIVE DIAGNOSTIC` address translation: LBN → physical.
     ///
-    /// # Panics
-    ///
-    /// Panics if `lbn` is beyond capacity (real drives return CHECK
-    /// CONDITION; extraction code never asks out of range).
-    pub fn translate_lbn(&mut self, lbn: u64) -> Pba {
+    /// Fails with [`ScsiError::Unsupported`] on drives without the vendor
+    /// diagnostic pages, and with ILLEGAL REQUEST when `lbn` is beyond
+    /// capacity.
+    pub fn translate_lbn(&mut self, lbn: u64) -> ScsiResult<Pba> {
         self.counts.translations += 1;
+        self.diag_gate("translate_lbn")?;
         self.diag("translate_lbn");
         self.disk
             .geometry()
             .lbn_to_pba(lbn)
-            .expect("translation in range")
+            .map_err(|_| ScsiError::Check {
+                sense: SenseKey::IllegalRequest,
+                command: "translate_lbn",
+                lbn: Some(lbn),
+                at: self.now,
+            })
     }
 
     /// `SEND/RECEIVE DIAGNOSTIC` address translation: physical → LBN.
-    /// Returns `None` for slots holding no LBN (spares, defects, reserved).
-    pub fn translate_pba(&mut self, pba: Pba) -> Option<u64> {
+    /// Returns `Ok(None)` for slots holding no LBN (spares, defects,
+    /// reserved); fails with [`ScsiError::Unsupported`] on drives without
+    /// the vendor diagnostic pages.
+    pub fn translate_pba(&mut self, pba: Pba) -> ScsiResult<Option<u64>> {
         self.counts.translations += 1;
+        self.diag_gate("translate_pba")?;
         self.diag("translate_pba");
-        self.disk.geometry().pba_to_lbn(pba)
+        Ok(self.disk.geometry().pba_to_lbn(pba))
     }
 
-    /// `READ DEFECT DATA`: the factory (P-list) defect list.
-    pub fn read_defect_list(&mut self) -> Vec<DefectLocation> {
+    /// `READ DEFECT DATA`: the factory (P-list) defect list. Fails with
+    /// [`ScsiError::Unsupported`] on drives that do not export it.
+    pub fn read_defect_list(&mut self) -> ScsiResult<Vec<DefectLocation>> {
         self.counts.queries += 1;
+        self.diag_gate("read_defect_list")?;
         self.diag("read_defect_list");
-        self.disk.geometry().defect_list()
+        Ok(self.disk.geometry().defect_list())
     }
 
     /// The spindle revolution period, measurable by the host from MODE
@@ -233,7 +378,7 @@ mod tests {
     fn reads_advance_the_clock() {
         let mut s = scsi();
         let t0 = s.elapsed();
-        let c = s.read_at(0, 64);
+        let c = s.read_at(0, 64).unwrap();
         assert!(s.elapsed() > t0);
         assert_eq!(s.elapsed(), c.completion);
         assert_eq!(s.counts().reads, 1);
@@ -243,8 +388,8 @@ mod tests {
     fn translations_round_trip_and_cost_time() {
         let mut s = scsi();
         let before = s.elapsed();
-        let pba = s.translate_lbn(1234);
-        let back = s.translate_pba(pba);
+        let pba = s.translate_lbn(1234).unwrap();
+        let back = s.translate_pba(pba).unwrap();
         assert_eq!(back, Some(1234));
         assert_eq!(s.counts().translations, 2);
         assert!(s.elapsed() > before);
@@ -262,26 +407,101 @@ mod tests {
         );
         let expect = cfg.geometry.defect_list();
         let mut s = ScsiDisk::new(Disk::new(cfg));
-        assert_eq!(s.read_defect_list(), expect);
-        assert!(!s.read_defect_list().is_empty());
+        assert_eq!(s.read_defect_list().unwrap(), expect);
+        assert!(!s.read_defect_list().unwrap().is_empty());
     }
 
     #[test]
     fn timed_read_waits_for_the_chosen_instant() {
         let mut s = scsi();
-        let _ = s.read_at(0, 1);
+        let _ = s.read_at(0, 1).unwrap();
         let at = s.elapsed() + SimDur::from_millis_f64(5.0);
-        let c = s.read_at_time(1000, 1, at);
+        let c = s.read_at_time(1000, 1, at).unwrap();
         assert!(c.issue == at);
         assert!(s.elapsed() >= at);
     }
 
     #[test]
-    #[should_panic(expected = "in the past")]
-    fn past_issue_panics() {
+    fn past_issue_is_rejected_with_illegal_request() {
         let mut s = scsi();
-        let _ = s.read_at(0, 1);
-        let _ = s.read_at_time(0, 1, SimTime::ZERO);
+        let _ = s.read_at(0, 1).unwrap();
+        let before = s.elapsed();
+        let err = s.read_at_time(0, 1, SimTime::ZERO).unwrap_err();
+        assert!(matches!(
+            err,
+            ScsiError::Check {
+                sense: SenseKey::IllegalRequest,
+                command: "read",
+                ..
+            }
+        ));
+        assert_eq!(s.elapsed(), before, "a rejected issue costs no time");
+    }
+
+    #[test]
+    fn out_of_range_translation_returns_check_condition() {
+        let mut s = scsi();
+        let cap = s.read_capacity();
+        let err = s.translate_lbn(cap + 10).unwrap_err();
+        assert!(matches!(
+            err,
+            ScsiError::Check {
+                sense: SenseKey::IllegalRequest,
+                command: "translate_lbn",
+                lbn: Some(l),
+                ..
+            } if l == cap + 10
+        ));
+        assert!(!err.is_transient());
+        assert!(err.to_string().contains("translate_lbn"));
+    }
+
+    #[test]
+    fn diagnostics_unsupported_drives_reject_vendor_commands() {
+        let mut cfg = models::small_test_disk();
+        cfg.fault.diagnostics_unsupported = true;
+        let mut s = ScsiDisk::new(Disk::new(cfg));
+        assert!(!s.diagnostics_supported());
+        let t0 = s.elapsed();
+        let err = s.translate_lbn(0).unwrap_err();
+        assert!(matches!(
+            err,
+            ScsiError::Unsupported {
+                command: "translate_lbn",
+                ..
+            }
+        ));
+        assert!(s.elapsed() > t0, "the rejection costs a round trip");
+        assert!(s.translate_pba(Pba::new(0, 0, 0)).is_err());
+        assert!(s.read_defect_list().is_err());
+        // Mandatory commands still work.
+        assert!(s.read_capacity() > 0);
+        let _ = s.mode_sense();
+        assert!(s.read_at(0, 8).is_ok());
+    }
+
+    #[test]
+    fn transient_faults_surface_as_aborted_command() {
+        use sim_disk::fault::FaultConfig;
+        let mut cfg = models::small_test_disk();
+        cfg.fault = FaultConfig {
+            transient_per_million: 400_000,
+            ..FaultConfig::default()
+        };
+        let mut s = ScsiDisk::new(Disk::new(cfg));
+        let mut failures = 0;
+        let mut successes = 0;
+        for i in 0..100u64 {
+            match s.read_at((i * 777) % 10_000, 16) {
+                Ok(_) => successes += 1,
+                Err(e) => {
+                    assert!(e.is_transient());
+                    assert!(e.at() >= SimTime::ZERO);
+                    failures += 1;
+                }
+            }
+        }
+        assert!(failures > 0 && successes > 0);
     }
 
     #[test]
@@ -300,9 +520,9 @@ mod tests {
         cfg.tracer = Some(Tracer::new(sink.clone()));
         let mut s = ScsiDisk::new(Disk::new(cfg));
         let _ = s.read_capacity();
-        let pba = s.translate_lbn(0);
-        let _ = s.translate_pba(pba);
-        let _ = s.read_at(0, 8);
+        let pba = s.translate_lbn(0).unwrap();
+        let _ = s.translate_pba(pba).unwrap();
+        let _ = s.read_at(0, 8).unwrap();
 
         let events = sink.lock().unwrap().take_events();
         let kinds: Vec<&str> = events

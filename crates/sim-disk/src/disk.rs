@@ -11,6 +11,7 @@ pub use crate::request::{Breakdown, Completion, Op, Request};
 
 use crate::bus::BusConfig;
 use crate::cache::{CacheConfig, SegmentCache};
+use crate::fault::{CommandFault, FaultConfig, FaultStats, SenseKey};
 use crate::geometry::{DiskGeometry, TrackId};
 use crate::mech::{SeekCurve, Spindle};
 use crate::trace::{TraceEvent, Tracer};
@@ -45,6 +46,11 @@ pub struct DiskConfig {
     /// mechanical events there. `None` (the presets' default) disables
     /// tracing; the disabled path costs one branch per request.
     pub tracer: Option<Tracer>,
+    /// Fault injection (see [`crate::fault`]). The default injects
+    /// nothing and leaves every timing untouched; when any mechanism is
+    /// enabled, faults are drawn deterministically from
+    /// [`FaultConfig::seed`] and the request sequence.
+    pub fault: FaultConfig,
 }
 
 /// A simulated disk drive.
@@ -70,6 +76,8 @@ pub struct Disk {
     /// Reused trace-event buffer: a request's events are batched here and
     /// delivered to the sink under one lock acquisition.
     trace_scratch: Vec<TraceEvent>,
+    /// Running totals of injected faults (all zero with faults off).
+    fault_stats: FaultStats,
 }
 
 /// One mechanical stop during a request: a track (or a remapped sector's
@@ -79,6 +87,8 @@ struct Visit {
     cyl: u32,
     head: u32,
     track: TrackId,
+    /// First LBN this visit transfers (the visit covers consecutive LBNs).
+    lbn: u64,
     slots: Vec<u32>,
 }
 
@@ -107,6 +117,7 @@ impl Disk {
             avail_scratch: Vec::new(),
             req_seq: 0,
             trace_scratch: Vec::new(),
+            fault_stats: FaultStats::default(),
         }
     }
 
@@ -139,6 +150,13 @@ impl Disk {
     /// Cache statistics: (hits, misses).
     pub fn cache_stats(&self) -> (u64, u64) {
         self.cache.stats()
+    }
+
+    /// Totals of every fault injected so far (all zero when fault
+    /// injection is off). Like the request sequence number, the totals
+    /// survive [`Disk::reset`].
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
     }
 
     /// Attaches (or, with `None`, detaches) a trace sink on a built drive.
@@ -181,6 +199,54 @@ impl Disk {
             issue >= self.last_issue,
             "commands must be issued in time order"
         );
+        self.service_faultable(req, issue, true)
+            .expect("transient faults are recovered internally")
+    }
+
+    /// Like [`Disk::service`], but surfaces failures the way a real drive
+    /// does — as CHECK CONDITION results — instead of recovering them in
+    /// firmware:
+    ///
+    /// * a request past the disk capacity fails with
+    ///   [`SenseKey::IllegalRequest`] (where [`Disk::service`] panics);
+    /// * an injected transient fault fails with
+    ///   [`SenseKey::AbortedCommand`] after charging the command overhead
+    ///   (where [`Disk::service`] silently retries). Re-issuing the command
+    ///   draws a fresh fault decision.
+    ///
+    /// With fault injection off this behaves exactly like
+    /// [`Disk::service`] for in-range requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `issue` precedes a previously issued command.
+    pub fn try_service(
+        &mut self,
+        req: Request,
+        issue: SimTime,
+    ) -> Result<Completion, CommandFault> {
+        if req.end() > self.config.geometry.capacity_lbns() {
+            return Err(CommandFault {
+                sense: SenseKey::IllegalRequest,
+                at: issue,
+            });
+        }
+        assert!(
+            issue >= self.last_issue,
+            "commands must be issued in time order"
+        );
+        self.service_faultable(req, issue, false)
+    }
+
+    /// The common service path behind [`Disk::service`] (which recovers
+    /// transient faults internally) and [`Disk::try_service`] (which
+    /// surfaces them). Requests are pre-validated by the callers.
+    fn service_faultable(
+        &mut self,
+        req: Request,
+        issue: SimTime,
+        recover: bool,
+    ) -> Result<Completion, CommandFault> {
         self.last_issue = issue;
         let rid = self.req_seq;
         self.req_seq += 1;
@@ -201,11 +267,57 @@ impl Disk {
             });
         }
 
+        // Transient command failures: each failed attempt either costs a
+        // firmware retry (recovered, charged to overhead) or aborts the
+        // command back to the host.
+        let mut overhead = self.config.cmd_overhead;
+        let fault = self.config.fault;
+        if fault.transient_per_million > 0 {
+            if recover {
+                let mut attempt = 0u64;
+                while attempt < 8 && fault.transient(rid, attempt) {
+                    self.fault_stats.transient_recovered += 1;
+                    if tracing {
+                        events.push(TraceEvent::Fault {
+                            req: rid,
+                            t: (issue + overhead).as_ns(),
+                            dur: fault.transient_retry.as_ns(),
+                            kind: "transient_retry".to_string(),
+                            lbn: req.lbn,
+                        });
+                    }
+                    overhead += fault.transient_retry;
+                    attempt += 1;
+                }
+            } else if fault.transient(rid, 0) {
+                self.fault_stats.transient_surfaced += 1;
+                let at = issue + overhead;
+                if tracing {
+                    events.push(TraceEvent::Fault {
+                        req: rid,
+                        t: at.as_ns(),
+                        dur: 0,
+                        kind: "transient_abort".to_string(),
+                        lbn: req.lbn,
+                    });
+                    if let Some(tracer) = &self.config.tracer {
+                        tracer.record_all(&events);
+                    }
+                    events.clear();
+                    self.trace_scratch = events;
+                }
+                return Err(CommandFault {
+                    sense: SenseKey::AbortedCommand,
+                    at,
+                });
+            }
+        }
+
         let mut breakdown = Breakdown {
-            overhead: self.config.cmd_overhead,
+            overhead,
             ..Breakdown::default()
         };
-        let cmd_ready = issue + self.config.cmd_overhead;
+        let cmd_ready = issue + overhead;
 
         let trc = Trace {
             rid,
@@ -246,7 +358,7 @@ impl Disk {
             events.clear();
             self.trace_scratch = events;
         }
-        completion
+        Ok(completion)
     }
 
     fn service_read(
@@ -450,6 +562,7 @@ impl Disk {
                     cyl: pba.cyl,
                     head: pba.head,
                     track: geom.track_at(pba.cyl, pba.head).expect("valid pba"),
+                    lbn: cur,
                     slots: vec![pba.slot],
                 });
                 cur += 1;
@@ -466,6 +579,7 @@ impl Disk {
                 cyl: t.cyl(),
                 head: t.head(),
                 track: tid,
+                lbn: cur,
                 slots: geom.slots_for_range(tid, cur, count),
             });
             cur = run_end;
@@ -490,16 +604,26 @@ impl Disk {
     ) -> (SimTime, Vec<SimTime>) {
         let geom = &self.config.geometry;
         let spindle = self.config.spindle;
+        let fault = self.config.fault;
+        let faults_on = fault.enabled();
+        let mut media_errors = 0u64;
+        // LBNs whose media error escalated to a grown defect; reallocated
+        // after the mechanical pass (the remap affects later commands).
+        let mut grown: Vec<u64> = Vec::new();
         let mut t = start;
         let mut avail = std::mem::take(&mut self.avail_scratch);
         avail.clear();
         let (mut cur_cyl, mut cur_head) = (self.cur_cyl, self.cur_head);
 
         for (vi, v) in visits.iter().enumerate() {
+            let avail_start = avail.len();
             // Positioning.
             let dist = v.cyl.abs_diff(cur_cyl);
             if dist > 0 {
-                let s = self.config.seek.seek_time(dist);
+                let mut s = self.config.seek.seek_time(dist);
+                if faults_on {
+                    s = fault.jitter_seek(s, trc.rid, vi as u64);
+                }
                 if trc.on {
                     trc.events.push(TraceEvent::Seek {
                         req: trc.rid,
@@ -512,15 +636,19 @@ impl Disk {
                 breakdown.seek += s;
                 t += s;
             } else if v.head != cur_head {
+                let mut hs = self.config.head_switch;
+                if faults_on {
+                    hs = fault.jitter_head_switch(hs, trc.rid, vi as u64);
+                }
                 if trc.on {
                     trc.events.push(TraceEvent::HeadSwitch {
                         req: trc.rid,
                         t: t.as_ns(),
-                        dur: self.config.head_switch.as_ns(),
+                        dur: hs.as_ns(),
                     });
                 }
-                breakdown.head_switch += self.config.head_switch;
-                t += self.config.head_switch;
+                breakdown.head_switch += hs;
+                t += hs;
             }
             cur_cyl = v.cyl;
             cur_head = v.head;
@@ -549,6 +677,16 @@ impl Disk {
                         breakdown.bus += ready - t;
                         t = ready;
                     }
+                }
+            }
+
+            // Rotational jitter: spindle speed variation presents the
+            // target sector up to a fraction of a revolution late.
+            if faults_on {
+                let extra = fault.rot_extra(spindle.revolution(), trc.rid, vi as u64);
+                if extra > SimDur::ZERO {
+                    breakdown.rot_latency += extra;
+                    t += extra;
                 }
             }
 
@@ -638,9 +776,62 @@ impl Disk {
             breakdown.rot_latency += rot;
             breakdown.media += media;
             t = visit_end;
+
+            // Recovered media errors: the firmware re-reads the failing
+            // sector one revolution later; the lost revolution is charged
+            // as rotational latency and this visit's sectors reach the
+            // host only after the re-read.
+            if faults_on {
+                let sectors = v.slots.len() as u64;
+                if fault.media_error(trc.rid, vi as u64, sectors) {
+                    let rev = spindle.revolution();
+                    media_errors += 1;
+                    let bad = v.lbn + fault.failing_sector(trc.rid, vi as u64, sectors);
+                    if trc.on {
+                        trc.events.push(TraceEvent::Fault {
+                            req: trc.rid,
+                            t: t.as_ns(),
+                            dur: rev.as_ns(),
+                            kind: "media_retry".to_string(),
+                            lbn: bad,
+                        });
+                    }
+                    breakdown.rot_latency += rev;
+                    if want_avail {
+                        for a in &mut avail[avail_start..] {
+                            *a += rev;
+                        }
+                    }
+                    t += rev;
+                    if fault.grows_defect(trc.rid, vi as u64) {
+                        grown.push(bad);
+                    }
+                }
+            }
         }
         self.cur_cyl = cur_cyl;
         self.cur_head = cur_head;
+        // Reallocate grown defects now that the mechanical pass is over;
+        // the new mapping applies from the next command on.
+        self.fault_stats.media_errors += media_errors;
+        for lbn in grown {
+            let kind = if self.config.geometry.add_grown_defect(lbn).is_ok() {
+                self.fault_stats.grown_defects += 1;
+                "grown_defect"
+            } else {
+                self.fault_stats.grown_defects_unspared += 1;
+                "grown_defect_unspared"
+            };
+            if trc.on {
+                trc.events.push(TraceEvent::Fault {
+                    req: trc.rid,
+                    t: t.as_ns(),
+                    dur: 0,
+                    kind: kind.to_string(),
+                    lbn,
+                });
+            }
+        }
         (t, avail)
     }
 }
@@ -677,6 +868,7 @@ mod tests {
             bus,
             cache: CacheConfig::default(),
             tracer: None,
+            fault: FaultConfig::default(),
         })
     }
 

@@ -46,6 +46,7 @@ pub mod bus;
 pub mod cache;
 pub mod defects;
 pub mod disk;
+pub mod fault;
 pub mod geometry;
 pub mod mech;
 pub mod metrics;

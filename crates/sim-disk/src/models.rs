@@ -16,6 +16,7 @@ use crate::bus::BusConfig;
 use crate::cache::CacheConfig;
 use crate::defects::{DefectLocation, DefectPolicy, SpareScheme};
 use crate::disk::DiskConfig;
+use crate::fault::FaultConfig;
 use crate::geometry::{GeometrySpec, ZoneSpec};
 use crate::mech::{SeekCurve, Spindle};
 use crate::SimDur;
@@ -253,6 +254,7 @@ impl ModelSheet {
             bus: BusConfig::in_order(self.bus_mb_s),
             cache: CacheConfig::default(),
             tracer: None,
+            fault: FaultConfig::default(),
         }
     }
 }
@@ -328,6 +330,7 @@ pub fn small_test_disk() -> DiskConfig {
         bus: BusConfig::in_order(160.0),
         cache: CacheConfig::default(),
         tracer: None,
+        fault: FaultConfig::default(),
     }
 }
 

@@ -172,6 +172,24 @@ pub enum TraceEvent {
         /// Bytes moved (0 for a write-data stall).
         bytes: u64,
     },
+    /// An injected fault (see [`crate::fault`]): a recovered media error,
+    /// a grown-defect reallocation, or a transient command failure.
+    /// `dur` is the recovery time charged to the request (zero for
+    /// instantaneous events such as a reallocation or a surfaced abort).
+    Fault {
+        /// Request sequence number.
+        req: u64,
+        /// Fault instant, ns.
+        t: u64,
+        /// Recovery time charged, ns.
+        dur: u64,
+        /// Fault kind (`"media_retry"`, `"grown_defect"`,
+        /// `"grown_defect_unspared"`, `"transient_retry"`,
+        /// `"transient_abort"`).
+        kind: String,
+        /// Logical block the fault struck.
+        lbn: u64,
+    },
     /// A non-media SCSI command (MODE SENSE, address translation, defect
     /// list, READ CAPACITY) from the emulated command layer.
     ScsiCommand {
@@ -242,6 +260,7 @@ impl TraceEvent {
             TraceEvent::CacheHit { .. } => "cache_hit",
             TraceEvent::CacheFill { .. } => "cache_fill",
             TraceEvent::Bus { .. } => "bus",
+            TraceEvent::Fault { .. } => "fault",
             TraceEvent::ScsiCommand { .. } => "scsi_command",
             TraceEvent::Complete { .. } => "complete",
         }
@@ -260,6 +279,7 @@ impl TraceEvent {
             | TraceEvent::CacheHit { req, .. }
             | TraceEvent::CacheFill { req, .. }
             | TraceEvent::Bus { req, .. }
+            | TraceEvent::Fault { req, .. }
             | TraceEvent::Complete { req, .. } => Some(req),
             TraceEvent::ScsiCommand { .. } => None,
         }
@@ -278,6 +298,7 @@ impl TraceEvent {
             | TraceEvent::CacheHit { t, .. }
             | TraceEvent::CacheFill { t, .. }
             | TraceEvent::Bus { t, .. }
+            | TraceEvent::Fault { t, .. }
             | TraceEvent::ScsiCommand { t, .. }
             | TraceEvent::Complete { t, .. } => t,
         }
@@ -373,6 +394,21 @@ impl TraceEvent {
                 num(&mut s, "t", *t);
                 num(&mut s, "dur", *dur);
                 num(&mut s, "bytes", *bytes);
+            }
+            TraceEvent::Fault {
+                req,
+                t,
+                dur,
+                kind,
+                lbn,
+            } => {
+                num(&mut s, "req", *req);
+                num(&mut s, "t", *t);
+                num(&mut s, "dur", *dur);
+                s.push_str(",\"kind\":\"");
+                s.push_str(kind);
+                s.push('"');
+                num(&mut s, "lbn", *lbn);
             }
             TraceEvent::ScsiCommand { t, dur, kind } => {
                 num(&mut s, "t", *t);
@@ -526,6 +562,13 @@ impl TraceEvent {
                 t: num("t")?,
                 dur: num("dur")?,
                 bytes: num("bytes")?,
+            },
+            "fault" => TraceEvent::Fault {
+                req: num("req")?,
+                t: num("t")?,
+                dur: num("dur")?,
+                kind: string("kind")?,
+                lbn: num("lbn")?,
             },
             "scsi_command" => TraceEvent::ScsiCommand {
                 t: num("t")?,
@@ -839,6 +882,13 @@ mod tests {
                 t: 26,
                 dur: 27,
                 bytes: 28,
+            },
+            TraceEvent::Fault {
+                req: 1,
+                t: 28,
+                dur: 29,
+                kind: "media_retry".into(),
+                lbn: 30,
             },
             TraceEvent::ScsiCommand {
                 t: 29,

@@ -23,7 +23,7 @@ fn main() {
 
     // The SCSI-specific five-step algorithm.
     let mut s = ScsiDisk::new(make());
-    let r = extract_scsi(&mut s);
+    let r = extract_scsi(&mut s).expect("the simulated drive supports diagnostics");
     println!("SCSI-specific extraction:");
     println!("  surfaces: {}", r.surfaces);
     println!(
@@ -50,7 +50,8 @@ fn main() {
             contexts: 24,
             ..GeneralConfig::default()
         },
-    );
+    )
+    .expect("fault-free timing extraction succeeds");
     println!("general (timing-only) extraction:");
     println!(
         "  {} tracks at {:.1} probes/track, {:.1} s of disk time",

@@ -16,7 +16,7 @@ fn main() {
 
     // Extract the track boundaries through the command interface (the
     // DIXtrac-style five-step algorithm).
-    let extraction = extract_scsi(&mut scsi);
+    let extraction = extract_scsi(&mut scsi).expect("the simulated drive supports diagnostics");
     println!(
         "extracted {} tracks in {} zones using {:.2} translations/track",
         extraction.boundaries.num_tracks(),

@@ -41,7 +41,7 @@ fn extract_then_allocate_then_plan() {
     let truth = ground_truth(&Disk::new(cfg.clone()));
 
     let mut s = ScsiDisk::new(Disk::new(cfg.clone()));
-    let scsi_result = extract_scsi(&mut s);
+    let scsi_result = extract_scsi(&mut s).expect("extraction succeeds");
     assert_eq!(scsi_result.boundaries, truth);
 
     let mut s = ScsiDisk::new(Disk::new(cfg));
@@ -51,7 +51,8 @@ fn extract_then_allocate_then_plan() {
             contexts: 16,
             ..GeneralConfig::default()
         },
-    );
+    )
+    .expect("extraction succeeds");
     assert_eq!(general.boundaries, truth);
 
     // Allocate mid-size extents and plan requests: nothing crosses a track.
@@ -139,6 +140,87 @@ fn ffs_personalities_match_table2_directions() {
         head_t.elapsed > head_u.elapsed,
         "head* must be the traxtent worst case"
     );
+}
+
+/// Graceful degradation end to end: a drive that refuses diagnostics is
+/// extracted by the timing fallback; regions whose confidence falls below
+/// threshold are served untracked by both the extent allocator and the
+/// traxtent FFS, while trusted regions keep aligned placement.
+#[test]
+fn low_confidence_extraction_degrades_to_untracked_allocation() {
+    // Fallback extraction on a diagnostics-refusing, transiently-faulty
+    // drive still recovers the exact table, with per-track confidence.
+    let mut cfg = models::small_test_disk();
+    cfg.fault.diagnostics_unsupported = true;
+    cfg.fault.transient_per_million = 10_000;
+    cfg.fault.seed = 0xdecade;
+    let truth = ground_truth(&Disk::new(cfg.clone()));
+    let mut s = ScsiDisk::new(Disk::new(cfg));
+    let auto = dixtrac::extract_auto(
+        &mut s,
+        &dixtrac::GeneralConfig {
+            contexts: 16,
+            votes: 3,
+            ..dixtrac::GeneralConfig::default()
+        },
+    )
+    .expect("fallback extraction succeeds");
+    assert_eq!(auto.method, dixtrac::ExtractionMethod::GeneralFallback);
+    assert_eq!(auto.boundaries.table(), &truth);
+
+    // Simulate a noisier run: mark a band of tracks low-confidence (the
+    // extraction above is too clean to produce any on its own).
+    let n = truth.num_tracks();
+    let mut conf = auto.boundaries.confidence().to_vec();
+    let weak: Vec<usize> = (n / 3..n / 2).collect();
+    for &i in &weak {
+        conf[i] = 0.4;
+    }
+    let degraded = traxtent::ConfidentBoundaries::new(truth.clone(), conf).expect("valid");
+
+    // The extent allocator never hands out aligned space on weak tracks.
+    let mut alloc = TraxtentAllocator::with_confidence(&degraded, 0.75);
+    assert_eq!(alloc.untrusted_tracks(), weak.len());
+    let weak_mid = truth.track_extent(weak[weak.len() / 2]).start;
+    for _ in 0..8 {
+        let e = alloc.alloc_traxtent(weak_mid).expect("trusted space left");
+        let idx = truth.track_index(e.start);
+        assert!(!weak.contains(&idx), "aligned alloc on weak track {idx}");
+    }
+    // The untracked fallback still serves the weak region itself.
+    let e = alloc.alloc_near(64, weak_mid).expect("space");
+    assert_eq!(truth.track_index(e.start), weak[weak.len() / 2]);
+}
+
+/// The traxtent FFS on a partially-trusted table keeps working, excludes
+/// no blocks on weak tracks, and places via the untracked fallback there.
+#[test]
+fn confident_ffs_reverts_to_untracked_placement_on_weak_tracks() {
+    let disk = Disk::new(models::quantum_atlas_10k());
+    let truth = ground_truth(&disk);
+    let n = truth.num_tracks();
+    // First half of the disk untrusted, second half certain.
+    let conf: Vec<f64> = (0..n).map(|i| if i < n / 2 { 0.5 } else { 1.0 }).collect();
+    let cb = traxtent::ConfidentBoundaries::new(truth.clone(), conf).expect("valid");
+    let mut fs = FileSystem::format_confident(disk, Personality::Traxtent, &cb, 0.9);
+
+    // Writing files works and the system stays consistent.
+    let scan = apps::scan(&mut fs, 16 * MB, 64 * 1024);
+    assert!(scan.elapsed.as_secs_f64() > 0.0);
+    let stats = fs.layout().alloc_stats();
+    // Aligned placements only ever target the trusted half; with half the
+    // disk untrusted the trusted fraction reflects that.
+    assert!((fs.layout().trusted_fraction() - 0.5).abs() < 0.01);
+    assert!(stats.sequential + stats.track_aligned + stats.fallback > 0);
+
+    // A fully untrusted table degrades to untracked behaviour wholesale:
+    // no exclusions, no aligned placements — yet everything still runs.
+    let disk = Disk::new(models::quantum_atlas_10k());
+    let cb = traxtent::ConfidentBoundaries::new(truth.clone(), vec![0.0; n]).expect("valid");
+    let mut fs = FileSystem::format_confident(disk, Personality::Traxtent, &cb, 0.5);
+    assert_eq!(fs.layout().excluded_fraction(), 0.0);
+    let _ = apps::scan(&mut fs, 16 * MB, 64 * 1024);
+    assert_eq!(fs.layout().alloc_stats().track_aligned, 0);
 }
 
 /// Grown defects change boundaries only locally: after remapping one LBN,
