@@ -85,6 +85,48 @@ fn bench_disk_service(c: &mut Criterion) {
     });
 }
 
+/// The zero-latency window kernel, old vs new: the per-sector reference
+/// scan ([`sim_disk::rotation::window_scan`], what the service path ran
+/// before the event-driven rework) against its closed-form replacement
+/// ([`sim_disk::rotation::window_closed`]). Both produce bit-identical
+/// results; only the cost differs — this pair pins the gap.
+fn bench_rotation(c: &mut Criterion) {
+    let cfg = models::quantum_atlas_10k_ii();
+    let geom = cfg.geometry;
+    let track = geom.track(0);
+    let spt = track.spt();
+    c.bench_function("rotation/window_scan_ref", |b| {
+        let mut angle = 0.1234_f64;
+        b.iter(|| {
+            angle += 0.000_37;
+            if angle >= 1.0 {
+                angle -= 1.0;
+            }
+            black_box(sim_disk::rotation::window_scan(
+                track,
+                black_box(angle),
+                0,
+                spt,
+            ))
+        })
+    });
+    c.bench_function("rotation/window_closed", |b| {
+        let mut angle = 0.1234_f64;
+        b.iter(|| {
+            angle += 0.000_37;
+            if angle >= 1.0 {
+                angle -= 1.0;
+            }
+            black_box(sim_disk::rotation::window_closed(
+                track,
+                black_box(angle),
+                0,
+                spt,
+            ))
+        })
+    });
+}
+
 fn bench_boundaries(c: &mut Criterion) {
     let tb = TrackBoundaries::uniform(52_014, 440);
     c.bench_function("boundaries/clip_to_track", |b| {
@@ -122,6 +164,7 @@ criterion_group!(
     benches,
     bench_geometry,
     bench_disk_service,
+    bench_rotation,
     bench_boundaries,
     bench_allocator
 );

@@ -3,17 +3,24 @@
 //! ```text
 //! bench_diff results/baseline results/manifest
 //! bench_diff results/baseline results/manifest --tol 0.05 --wall-tol 2.0
+//! bench_diff results/baseline results/manifest --only replay_synthetic --wall-tol 3.0
 //! ```
 //!
 //! Every figure present in the baseline must appear in the current run with
 //! each headline value within `--tol` (relative). Wall time is reported but
-//! only judged when `--wall-tol` is given (relative increase). Exits 0 when
-//! everything is within tolerance, 1 on any regression, 2 on usage errors.
+//! only judged when `--wall-tol` is given (relative increase). `--only`
+//! (repeatable) restricts the comparison to the named figures, so a gate
+//! with a different tolerance — e.g. the engine-throughput smoke — can run
+//! beside the strict full-set diff. Exits 0 when everything is within
+//! tolerance, 1 on any regression, 2 on usage errors.
 
-use traxtent_bench::diff::{diff_dirs, Tolerances};
+use traxtent_bench::diff::{diff_dirs_only, Tolerances};
 
 fn usage(name: &str) -> ! {
-    eprintln!("usage: {name} <baseline_dir> <current_dir> [--tol <frac>] [--wall-tol <frac>]");
+    eprintln!(
+        "usage: {name} <baseline_dir> <current_dir> \
+         [--tol <frac>] [--wall-tol <frac>] [--only <figure>]..."
+    );
     std::process::exit(2);
 }
 
@@ -23,9 +30,13 @@ fn main() {
         .unwrap_or_else(|| "bench_diff".into());
     let mut dirs: Vec<String> = Vec::new();
     let mut tol = Tolerances::default();
+    let mut only: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--only" => {
+                only.push(args.next().unwrap_or_else(|| usage(&name)));
+            }
             "--tol" => {
                 tol.headline_rel = args
                     .next()
@@ -47,7 +58,7 @@ fn main() {
         usage(&name);
     };
 
-    match diff_dirs(baseline.as_ref(), current.as_ref(), &tol) {
+    match diff_dirs_only(baseline.as_ref(), current.as_ref(), &tol, &only) {
         Ok(report) => {
             print!("{}", report.render());
             std::process::exit(if report.passed() { 0 } else { 1 });

@@ -4,8 +4,11 @@
 //!
 //! Every parallel run's stdout is byte-compared against the sequential
 //! run's — the report fails loudly if the executor's determinism guarantee
-//! is ever violated. Child binaries run with `--quick` so the report stays
-//! cheap enough for CI.
+//! is ever violated. On a 1-core runner the "parallel" run would be the
+//! sequential run again, so the comparison is skipped and flagged as such
+//! in the JSON rather than reported as a (meaningless) 1.0× speedup.
+//! Child binaries run with `--quick` so the report stays cheap enough for
+//! CI.
 
 use sim_disk::bus::BusConfig;
 use sim_disk::disk::{Disk, DiskConfig, Request};
@@ -113,6 +116,33 @@ fn hotpath_medians() -> Vec<(&'static str, f64)> {
             black_box(done.completion);
         }),
     ));
+
+    // The rotation kernel old vs new: the per-sector reference scan against
+    // the closed-form replacement, on a full outer-zone track.
+    let track = geom.track(0);
+    let spt = track.spt();
+    let mut angle = 0.1234_f64;
+    out.push((
+        "rotation/window_scan_ref",
+        median_ns(|| {
+            angle += 0.000_37;
+            if angle >= 1.0 {
+                angle -= 1.0;
+            }
+            black_box(sim_disk::rotation::window_scan(track, angle, 0, spt));
+        }),
+    ));
+    let mut angle = 0.1234_f64;
+    out.push((
+        "rotation/window_closed",
+        median_ns(|| {
+            angle += 0.000_37;
+            if angle >= 1.0 {
+                angle -= 1.0;
+            }
+            black_box(sim_disk::rotation::window_closed(track, angle, 0, spt));
+        }),
+    ));
     out
 }
 
@@ -139,9 +169,24 @@ fn main() {
     let dir = exe.parent().expect("binary directory").to_path_buf();
 
     let threads = default_threads();
+    let compare = threads > 1;
+    if !compare {
+        eprintln!("1-core runner: seq-vs-parallel comparison skipped");
+    }
     let mut bin_entries = Vec::new();
     for &bin in BINARIES {
         let (seq_out, seq_s) = timed_run(&dir, bin, &["--threads", "1"]);
+        if !compare {
+            // A "parallel" run here would be the sequential run again;
+            // timing it would fabricate a 1.0× speedup out of noise.
+            eprintln!("{bin:<12} seq {seq_s:>7.3}s  (parallel run skipped)");
+            bin_entries.push(format!(
+                "    {{\"binary\": \"{}\", \"seq_s\": {:.4}}}",
+                json_escape(bin),
+                seq_s
+            ));
+            continue;
+        }
         let (par_out, par_s) = timed_run(&dir, bin, &["--threads", &threads.to_string()]);
         let identical = seq_out == par_out;
         assert!(
@@ -176,9 +221,16 @@ fn main() {
         })
         .collect();
 
+    let comparison = if compare {
+        "ok".to_string()
+    } else {
+        "skipped: 1-core runner".to_string()
+    };
     let json = format!(
         "{{\n  \"available_parallelism\": {threads},\n  \"threads_used\": {threads},\n  \
+         \"speedup_comparison\": \"{}\",\n  \
          \"quick_mode\": true,\n  \"binaries\": [\n{}\n  ],\n  \"hot_paths\": [\n{}\n  ]\n}}\n",
+        json_escape(&comparison),
         bin_entries.join(",\n"),
         median_entries.join(",\n")
     );

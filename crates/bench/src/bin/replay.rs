@@ -1,0 +1,113 @@
+//! Trace replay: engine-throughput measurement for the event-driven
+//! service path.
+//!
+//! ```text
+//! replay                              # synthetic trace (figure `replay_synthetic`)
+//! replay --input traces/sample.trc   # a committed/external trace (figure `replay`)
+//! replay --count 200000              # synthetic trace of a given length
+//! replay --count 500 --emit out.trc  # write the synthetic trace, don't replay
+//! ```
+//!
+//! Reads a timestamped block trace (see [`workloads::replay`] for the line
+//! format) or generates a deterministic synthetic one, replays it through
+//! [`sim_disk::Disk::service_batch_into`] on the Atlas 10K II, and prints
+//! the simulation outcome. Stdout is a deterministic function of the trace
+//! and seed; the replay *rate* (simulated requests per wall-clock second)
+//! is inherently machine-dependent, so it goes to stderr and into the
+//! manifest — wall time is judged by `bench_diff` only under an explicit
+//! `--wall-tol`.
+
+use sim_disk::disk::Disk;
+use sim_disk::models;
+use traxtent_bench::{header, row, Cli};
+use workloads::replay::{parse_trace, render_trace, replay, synthetic_trace, SyntheticSpec};
+
+fn main() {
+    let cli = Cli::parse_with_values(&[], &["--input", "--count", "--emit"]);
+    let probe = cli.probe();
+    let reg = traxtent::obs::Registry::new();
+
+    let cfg = probe.wrap(models::quantum_atlas_10k_ii());
+    let capacity = cfg.geometry.capacity_lbns();
+
+    let default_count = if cli.quick { 20_000 } else { 200_000 };
+    let count: usize = match cli.value("--count") {
+        None => default_count,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("error: --count requires an integer, got `{raw}`");
+            std::process::exit(2);
+        }),
+    };
+
+    let (figure, records) = match cli.value("--input") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot read trace `{path}`: {e}");
+                std::process::exit(2);
+            });
+            let records = parse_trace(&text).unwrap_or_else(|e| {
+                eprintln!("error: `{path}`: {e}");
+                std::process::exit(2);
+            });
+            ("replay", records)
+        }
+        None => {
+            let spec = SyntheticSpec::default_for(capacity, count, cli.seed);
+            ("replay_synthetic", synthetic_trace(&spec))
+        }
+    };
+    if records.is_empty() {
+        eprintln!("error: trace contains no requests");
+        std::process::exit(2);
+    }
+
+    if let Some(path) = cli.value("--emit") {
+        std::fs::write(path, render_trace(&records)).unwrap_or_else(|e| {
+            eprintln!("error: cannot write trace `{path}`: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {} requests to {path}", records.len());
+        return;
+    }
+
+    let mut rec = cli.recorder(figure);
+    let mut disk = Disk::new(cfg);
+    let wall_start = std::time::Instant::now();
+    let result = replay(&mut disk, &records);
+    let wall = wall_start.elapsed().as_secs_f64();
+    result.export_metrics(&reg);
+
+    let span_s = result.sim_span().as_secs_f64();
+    let mean_ms = result.mean_response_ms();
+    let max_ms = result.max_response_ms();
+    let hit_frac = result.cache_hit_fraction();
+
+    header(&format!(
+        "Trace replay: {} requests on the Atlas 10K II",
+        result.requests()
+    ));
+    row(["metric".into(), "value".into()]);
+    row(["requests".into(), result.requests().to_string()]);
+    row(["sim_span_s".into(), format!("{span_s:.3}")]);
+    row(["mean_response_ms".into(), format!("{mean_ms:.3}")]);
+    row(["max_response_ms".into(), format!("{max_ms:.3}")]);
+    row(["cache_hit_fraction".into(), format!("{hit_frac:.4}")]);
+
+    // Wall-dependent numbers stay off stdout so the figure output is
+    // byte-reproducible across machines and thread counts.
+    let req_per_sec = result.requests() as f64 / wall.max(1e-9);
+    eprintln!(
+        "replayed {} requests in {:.3}s wall ({:.0} simulated requests/sec)",
+        result.requests(),
+        wall,
+        req_per_sec
+    );
+    reg.set_gauge("replay.requests_per_sec", req_per_sec as u64);
+
+    rec.headline("sim_span_s", span_s);
+    rec.headline("mean_response_ms", mean_ms);
+    rec.headline("max_response_ms", max_ms);
+    rec.headline("cache_hit_fraction", hit_frac);
+    probe.finish();
+    rec.finish(&reg);
+}

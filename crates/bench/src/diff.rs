@@ -183,11 +183,35 @@ fn diff_one(figure: &str, base: &Manifest, cur: &Manifest, tol: &Tolerances, rep
 
 /// Loads both directories and compares them.
 pub fn diff_dirs(baseline: &Path, current: &Path, tol: &Tolerances) -> Result<Report, String> {
-    let base = Manifest::load_dir(baseline)?;
+    diff_dirs_only(baseline, current, tol, &[])
+}
+
+/// Like [`diff_dirs`], restricted to the named figures when `only` is
+/// non-empty. Asking for a figure the baseline does not have is an error —
+/// a gate that silently compares nothing would always pass.
+pub fn diff_dirs_only(
+    baseline: &Path,
+    current: &Path,
+    tol: &Tolerances,
+    only: &[String],
+) -> Result<Report, String> {
+    let mut base = Manifest::load_dir(baseline)?;
     if base.is_empty() {
         return Err(format!("no manifests found in `{}`", baseline.display()));
     }
-    let cur = Manifest::load_dir(current)?;
+    let mut cur = Manifest::load_dir(current)?;
+    if !only.is_empty() {
+        for figure in only {
+            if !base.contains_key(figure) {
+                return Err(format!(
+                    "--only {figure}: no such figure in `{}`",
+                    baseline.display()
+                ));
+            }
+        }
+        base.retain(|k, _| only.contains(k));
+        cur.retain(|k, _| only.contains(k));
+    }
     Ok(diff_manifests(&base, &cur, tol))
 }
 
@@ -294,5 +318,38 @@ mod tests {
         assert!(diff_manifests(&base, &cur, &Tolerances::default()).passed());
         let bad = map(vec![manifest("fig1", &[("misses", 1.0)])]);
         assert!(!diff_manifests(&base, &bad, &Tolerances::default()).passed());
+    }
+
+    #[test]
+    fn only_filter_restricts_and_validates() {
+        let dir = std::env::temp_dir().join(format!("traxtent-diff-only-{}", std::process::id()));
+        let base_dir = dir.join("base");
+        let cur_dir = dir.join("cur");
+        let _ = std::fs::remove_dir_all(&dir);
+        manifest("fig1", &[("eff", 0.5)])
+            .write_to(&base_dir)
+            .unwrap();
+        manifest("replay", &[("ms", 3.0)])
+            .write_to(&base_dir)
+            .unwrap();
+        // Current run regresses fig1 but not replay.
+        manifest("fig1", &[("eff", 0.9)])
+            .write_to(&cur_dir)
+            .unwrap();
+        manifest("replay", &[("ms", 3.0)])
+            .write_to(&cur_dir)
+            .unwrap();
+
+        let tol = Tolerances::default();
+        assert!(!diff_dirs(&base_dir, &cur_dir, &tol).unwrap().passed());
+        let only = vec!["replay".to_string()];
+        let report = diff_dirs_only(&base_dir, &cur_dir, &tol, &only).unwrap();
+        assert!(report.passed(), "{}", report.render());
+        assert!(!report.render().contains("fig1"));
+
+        let missing = vec!["nope".to_string()];
+        let err = diff_dirs_only(&base_dir, &cur_dir, &tol, &missing).unwrap_err();
+        assert!(err.contains("nope"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -69,6 +69,8 @@ pub struct Cli {
     pub fault: Option<FaultConfig>,
     /// Binary-specific boolean flags that were passed (e.g. `--writes`).
     flags: Vec<String>,
+    /// Binary-specific value options that were passed (e.g. `--input x`).
+    values: Vec<(String, String)>,
 }
 
 impl Cli {
@@ -82,7 +84,14 @@ impl Cli {
     /// binary-specific boolean flags (e.g. `&["--writes"]`). Exits with a
     /// usage message on malformed or unknown arguments.
     pub fn parse_with(known: &[&str]) -> Self {
-        match Self::parse_args(std::env::args().skip(1), known) {
+        Self::parse_with_values(known, &[])
+    }
+
+    /// Like [`Cli::parse_with`], additionally accepting binary-specific
+    /// options that take a value (e.g. `&["--input"]`), retrievable with
+    /// [`Cli::value`].
+    pub fn parse_with_values(known: &[&str], known_values: &[&str]) -> Self {
+        match Self::parse_args_values(std::env::args().skip(1), known, known_values) {
             Ok(cli) => cli,
             Err(msg) => {
                 let name = std::env::args().next().unwrap_or_else(|| "bench".into());
@@ -90,9 +99,16 @@ impl Cli {
                 eprintln!(
                     "usage: {name} [--quick] [--seed <n>] [--threads <n>] \
                      [--trace <path>] [--metrics] [--manifest <dir>] \
-                     [--faults <spec>] [--fault-seed <n>]{}",
+                     [--faults <spec>] [--fault-seed <n>]{}{}",
                     {
                         let extra: String = known.iter().map(|f| format!(" [{f}]")).collect();
+                        extra
+                    },
+                    {
+                        let extra: String = known_values
+                            .iter()
+                            .map(|f| format!(" [{f} <value>]"))
+                            .collect();
                         extra
                     }
                 );
@@ -106,6 +122,19 @@ impl Cli {
     where
         I: IntoIterator<Item = String>,
     {
+        Self::parse_args_values(args, known, &[])
+    }
+
+    /// Pure parser behind [`Cli::parse_with_values`], separated for
+    /// testing.
+    pub fn parse_args_values<I>(
+        args: I,
+        known: &[&str],
+        known_values: &[&str],
+    ) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = String>,
+    {
         let mut cli = Cli {
             quick: false,
             seed: 0x5eed,
@@ -115,6 +144,7 @@ impl Cli {
             manifest: None,
             fault: None,
             flags: Vec::new(),
+            values: Vec::new(),
         };
         let mut explicit_threads = false;
         let mut fault_seed: Option<u64> = None;
@@ -150,6 +180,10 @@ impl Cli {
                     fault_seed = Some(parse_value(args.next(), "--fault-seed")?);
                 }
                 flag if known.contains(&flag) => cli.flags.push(a),
+                opt if known_values.contains(&opt) => {
+                    let value = args.next().ok_or_else(|| format!("{a} requires a value"))?;
+                    cli.values.push((a, value));
+                }
                 _ => return Err(format!("unrecognized argument `{a}`")),
             }
         }
@@ -178,6 +212,16 @@ impl Cli {
     /// Whether a flag like `--writes` was passed.
     pub fn has(&self, flag: &str) -> bool {
         self.flags.iter().any(|a| a == flag)
+    }
+
+    /// The value of a binary-specific option like `--input`, if passed
+    /// (last occurrence wins).
+    pub fn value(&self, opt: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .rev()
+            .find(|(o, _)| o == opt)
+            .map(|(_, v)| v.as_str())
     }
 
     /// A worker pool sized by `--threads`.
@@ -365,6 +409,30 @@ mod tests {
         assert!(err.contains("--writes"), "{err}");
         let err = Cli::parse_args(args(&["--frobnicate"]), &["--writes"]).unwrap_err();
         assert!(err.contains("--frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn value_options_are_parsed_and_validated() {
+        let cli = Cli::parse_args_values(
+            args(&["--input", "traces/sample.trc", "--quick"]),
+            &[],
+            &["--input", "--count"],
+        )
+        .unwrap();
+        assert_eq!(cli.value("--input"), Some("traces/sample.trc"));
+        assert_eq!(cli.value("--count"), None);
+        assert!(cli.quick);
+
+        // A missing value is an error, not a silent swallow.
+        let err = Cli::parse_args_values(args(&["--input"]), &[], &["--input"]).unwrap_err();
+        assert!(err.contains("--input"), "{err}");
+        // Unknown value options are still rejected.
+        assert!(Cli::parse_args_values(args(&["--input", "x"]), &[], &[]).is_err());
+        // Last occurrence wins.
+        let cli =
+            Cli::parse_args_values(args(&["--count", "5", "--count", "9"]), &[], &["--count"])
+                .unwrap();
+        assert_eq!(cli.value("--count"), Some("9"));
     }
 
     #[test]

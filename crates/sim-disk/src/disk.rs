@@ -14,6 +14,7 @@ use crate::cache::{CacheConfig, SegmentCache};
 use crate::fault::{CommandFault, FaultConfig, FaultStats, SenseKey};
 use crate::geometry::{DiskGeometry, TrackId};
 use crate::mech::{SeekCurve, Spindle};
+use crate::rotation;
 use crate::trace::{TraceEvent, Tracer};
 use crate::{SimDur, SimTime};
 
@@ -67,9 +68,16 @@ pub struct Disk {
     actuator_free: SimTime,
     bus_free: SimTime,
     last_issue: SimTime,
-    /// Reused per-sector availability buffer (capacity persists across
-    /// requests so the hot path stops allocating).
+    /// Reused per-sector availability buffer. The buffer never leaves the
+    /// drive: [`Disk::run_visits`] borrows it in place (no take/give-back
+    /// hand-off), so no early return can drop its capacity.
     avail_scratch: Vec<SimTime>,
+    /// Reused visit plan (capacity persists across requests so the hot
+    /// path stops allocating).
+    visit_scratch: Vec<Visit>,
+    /// Reused backing store for the rare non-contiguous visits' explicit
+    /// slot lists (`Visit::slot_idx` points in here).
+    slot_scratch: Vec<u32>,
     /// Next request sequence number for trace events (monotonic for the
     /// life of the drive, surviving [`Disk::reset`]).
     req_seq: u64,
@@ -82,14 +90,28 @@ pub struct Disk {
 
 /// One mechanical stop during a request: a track (or a remapped sector's
 /// spare location) and the physical slots to transfer there, in LBN order.
-#[derive(Debug)]
+///
+/// The common contiguous case (no slipped defect inside the run) is fully
+/// described by `first_slot..=last_slot`; only runs straddling defects
+/// materialize an explicit slot list, indexed into the drive's shared
+/// scratch so planning a request allocates nothing.
+#[derive(Debug, Clone, Copy)]
 struct Visit {
     cyl: u32,
     head: u32,
     track: TrackId,
     /// First LBN this visit transfers (the visit covers consecutive LBNs).
     lbn: u64,
-    slots: Vec<u32>,
+    /// Number of sectors transferred.
+    count: u32,
+    /// Physical slot of the first LBN.
+    first_slot: u32,
+    /// Physical slot of the last LBN.
+    last_slot: u32,
+    /// `None` when the run is contiguous (`last_slot - first_slot + 1 ==
+    /// count`); otherwise the start of the run's `count` slots in
+    /// [`Disk::slot_scratch`].
+    slot_idx: Option<u32>,
 }
 
 /// Per-request tracing context threaded through the service path: the
@@ -115,6 +137,8 @@ impl Disk {
             bus_free: SimTime::ZERO,
             last_issue: SimTime::ZERO,
             avail_scratch: Vec::new(),
+            visit_scratch: Vec::new(),
+            slot_scratch: Vec::new(),
             req_seq: 0,
             trace_scratch: Vec::new(),
             fault_stats: FaultStats::default(),
@@ -201,6 +225,48 @@ impl Disk {
         );
         self.service_faultable(req, issue, true)
             .expect("transient faults are recovered internally")
+    }
+
+    /// Services a batch of commands, appending one [`Completion`] per
+    /// request to `out` in issue order.
+    ///
+    /// Equivalent to calling [`Disk::service`] in a loop — same FCFS
+    /// semantics, same results — but the whole batch is validated up front
+    /// and the completions land in a caller-owned buffer, amortizing
+    /// per-request setup on trace-replay scale workloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request extends past the disk capacity or the issue
+    /// times are not non-decreasing (including against previously issued
+    /// commands).
+    pub fn service_batch_into(&mut self, batch: &[(Request, SimTime)], out: &mut Vec<Completion>) {
+        let cap = self.config.geometry.capacity_lbns();
+        let mut last = self.last_issue;
+        for (req, issue) in batch {
+            assert!(
+                req.end() <= cap,
+                "request [{}, {}) exceeds capacity {cap}",
+                req.lbn,
+                req.end(),
+            );
+            assert!(*issue >= last, "commands must be issued in time order");
+            last = *issue;
+        }
+        out.reserve(batch.len());
+        for &(req, issue) in batch {
+            let c = self
+                .service_faultable(req, issue, true)
+                .expect("transient faults are recovered internally");
+            out.push(c);
+        }
+    }
+
+    /// [`Disk::service_batch_into`], collecting into a fresh vector.
+    pub fn service_batch(&mut self, batch: &[(Request, SimTime)]) -> Vec<Completion> {
+        let mut out = Vec::with_capacity(batch.len());
+        self.service_batch_into(batch, &mut out);
+        out
     }
 
     /// Like [`Disk::service`], but surfaces failures the way a real drive
@@ -401,7 +467,7 @@ impl Disk {
             };
         }
 
-        let visits = self.plan_visits(req.lbn, req.len);
+        self.plan_visits(req.lbn, req.len);
         let pos_start = cmd_ready.max(self.actuator_free);
         breakdown.queue = pos_start.since(cmd_ready);
         if trc.on && breakdown.queue > SimDur::ZERO {
@@ -412,26 +478,32 @@ impl Disk {
             });
         }
         // Availability instants are only consumed by finite-bus delivery
-        // below; skip collecting them otherwise.
+        // below; skip collecting them otherwise (the zero-latency path
+        // then takes the closed form instead of the per-sector scan).
         let want_avail = !self.config.bus.is_infinite();
-        let (media_end, mut avail) = self.run_visits(
-            &visits,
-            pos_start,
-            None,
-            want_avail,
-            &mut breakdown,
-            &mut trc,
-        );
+        let media_end = self.run_visits(pos_start, None, want_avail, &mut breakdown, &mut trc);
         self.actuator_free = media_end;
 
         // Firmware read-ahead: the cache segment extends to the end of the
-        // last track touched.
+        // last track touched. The planned last visit already holds that
+        // track unless the tail sector was remapped (the visit then sits on
+        // the spare track); only that case re-resolves the logical track.
         let seg_end = if self.config.cache.readahead_to_track_end {
-            self.config
-                .geometry
-                .track_bounds(req.end() - 1)
-                .map(|(_, e)| e)
-                .unwrap_or(req.end())
+            let last = req.end() - 1;
+            let planned = self
+                .visit_scratch
+                .last()
+                .map(|v| self.config.geometry.track(v.track.0))
+                .filter(|t| t.first_lbn() <= last && last < t.end_lbn());
+            match planned {
+                Some(t) => t.end_lbn(),
+                None => self
+                    .config
+                    .geometry
+                    .track_bounds(last)
+                    .map(|(_, e)| e)
+                    .unwrap_or(req.end()),
+            }
         } else {
             req.end()
         };
@@ -451,11 +523,11 @@ impl Disk {
         } else {
             let sector = self.config.bus.sector_time();
             if self.config.bus.out_of_order {
-                avail.sort_unstable();
+                self.avail_scratch.sort_unstable();
             }
             let mut prev_end = SimTime::ZERO;
             let mut first = true;
-            for &a in &avail {
+            for &a in &self.avail_scratch {
                 let start = if first {
                     first = false;
                     a.max(self.bus_free)
@@ -466,7 +538,6 @@ impl Disk {
             }
             prev_end
         };
-        self.avail_scratch = avail;
         self.bus_free = self.bus_free.max(completion);
         breakdown.bus = completion.saturating_since(media_end);
         if trc.on && completion > media_end {
@@ -516,7 +587,7 @@ impl Disk {
             end
         };
 
-        let visits = self.plan_visits(req.lbn, req.len);
+        self.plan_visits(req.lbn, req.len);
         let pos_start = cmd_ready.max(self.actuator_free);
         breakdown.queue = pos_start.since(cmd_ready);
         if trc.on && breakdown.queue > SimDur::ZERO {
@@ -526,15 +597,13 @@ impl Disk {
                 dur: breakdown.queue.as_ns(),
             });
         }
-        let (media_end, avail) = self.run_visits(
-            &visits,
+        let media_end = self.run_visits(
             pos_start,
             Some(all_buffered),
             false,
             &mut breakdown,
             &mut trc,
         );
-        self.avail_scratch = avail;
         self.actuator_free = media_end;
 
         Completion {
@@ -548,22 +617,33 @@ impl Disk {
         }
     }
 
-    /// Splits an LBN range into mechanical visits: maximal same-track runs,
-    /// with remapped LBNs visiting their spare locations individually.
-    fn plan_visits(&self, lbn: u64, len: u64) -> Vec<Visit> {
-        let geom = &self.config.geometry;
-        let mut visits = Vec::new();
+    /// Splits an LBN range into mechanical visits (maximal same-track runs,
+    /// with remapped LBNs visiting their spare locations individually) into
+    /// the drive's reusable visit scratch.
+    fn plan_visits(&mut self, lbn: u64, len: u64) {
+        let Disk {
+            ref config,
+            ref mut visit_scratch,
+            ref mut slot_scratch,
+            ..
+        } = *self;
+        let geom = &config.geometry;
+        visit_scratch.clear();
+        slot_scratch.clear();
         let mut cur = lbn;
         let end = lbn + len;
         while cur < end {
             if geom.is_remapped(cur) {
                 let pba = geom.lbn_to_pba(cur).expect("validated range");
-                visits.push(Visit {
+                visit_scratch.push(Visit {
                     cyl: pba.cyl,
                     head: pba.head,
                     track: geom.track_at(pba.cyl, pba.head).expect("valid pba"),
                     lbn: cur,
-                    slots: vec![pba.slot],
+                    count: 1,
+                    first_slot: pba.slot,
+                    last_slot: pba.slot,
+                    slot_idx: None,
                 });
                 cur += 1;
                 continue;
@@ -575,52 +655,75 @@ impl Disk {
                 run_end = l;
             }
             let count = (run_end - cur) as u32;
-            visits.push(Visit {
+            let first_logical = (cur - t.first_lbn()) as u32;
+            let first_slot = geom.slot_of_logical(t, first_logical);
+            let last_slot = geom.slot_of_logical(t, first_logical + count - 1);
+            let slot_idx = if last_slot - first_slot + 1 == count {
+                None
+            } else {
+                // Slipped defect(s) inside the run: materialize the list.
+                let idx = slot_scratch.len() as u32;
+                geom.slots_for_range_into(tid, cur, count, slot_scratch);
+                Some(idx)
+            };
+            visit_scratch.push(Visit {
                 cyl: t.cyl(),
                 head: t.head(),
                 track: tid,
                 lbn: cur,
-                slots: geom.slots_for_range(tid, cur, count),
+                count,
+                first_slot,
+                last_slot,
+                slot_idx,
             });
             cur = run_end;
         }
-        visits
     }
 
-    /// Runs the mechanism over the visits starting at `start`. For writes,
-    /// `data_ready` is when the last sector is buffered; media transfer for
-    /// each visit cannot begin before it. Returns the media completion time
-    /// and, when `want_avail` is set, per-sector availability instants in
-    /// LBN order (in the drive's reusable scratch buffer — the caller hands
-    /// it back via `avail_scratch`).
+    /// Runs the mechanism over the planned visits ([`Disk::plan_visits`])
+    /// starting at `start`. For writes, `data_ready` is when the last
+    /// sector is buffered; media transfer for each visit cannot begin
+    /// before it. Returns the media completion time and, when `want_avail`
+    /// is set, leaves per-sector availability instants in LBN order in
+    /// `self.avail_scratch` (borrowed in place — the buffer never leaves
+    /// the drive, so its capacity survives any exit path).
     fn run_visits(
         &mut self,
-        visits: &[Visit],
         start: SimTime,
         data_ready: Option<SimTime>,
         want_avail: bool,
         breakdown: &mut Breakdown,
         trc: &mut Trace<'_>,
-    ) -> (SimTime, Vec<SimTime>) {
-        let geom = &self.config.geometry;
-        let spindle = self.config.spindle;
-        let fault = self.config.fault;
+    ) -> SimTime {
+        let Disk {
+            ref mut config,
+            ref mut avail_scratch,
+            ref visit_scratch,
+            ref slot_scratch,
+            ref mut cur_cyl,
+            ref mut cur_head,
+            ref mut fault_stats,
+            ..
+        } = *self;
+        let geom = &config.geometry;
+        let spindle = config.spindle;
+        let fault = config.fault;
         let faults_on = fault.enabled();
         let mut media_errors = 0u64;
         // LBNs whose media error escalated to a grown defect; reallocated
         // after the mechanical pass (the remap affects later commands).
         let mut grown: Vec<u64> = Vec::new();
         let mut t = start;
-        let mut avail = std::mem::take(&mut self.avail_scratch);
+        let avail = avail_scratch;
         avail.clear();
-        let (mut cur_cyl, mut cur_head) = (self.cur_cyl, self.cur_head);
 
-        for (vi, v) in visits.iter().enumerate() {
+        let nvisits = visit_scratch.len();
+        for (vi, v) in visit_scratch.iter().enumerate() {
             let avail_start = avail.len();
             // Positioning.
-            let dist = v.cyl.abs_diff(cur_cyl);
+            let dist = v.cyl.abs_diff(*cur_cyl);
             if dist > 0 {
-                let mut s = self.config.seek.seek_time(dist);
+                let mut s = config.seek.seek_time(dist);
                 if faults_on {
                     s = fault.jitter_seek(s, trc.rid, vi as u64);
                 }
@@ -629,14 +732,14 @@ impl Disk {
                         req: trc.rid,
                         t: t.as_ns(),
                         dur: s.as_ns(),
-                        from_cyl: cur_cyl,
+                        from_cyl: *cur_cyl,
                         to_cyl: v.cyl,
                     });
                 }
                 breakdown.seek += s;
                 t += s;
-            } else if v.head != cur_head {
-                let mut hs = self.config.head_switch;
+            } else if v.head != *cur_head {
+                let mut hs = config.head_switch;
                 if faults_on {
                     hs = fault.jitter_head_switch(hs, trc.rid, vi as u64);
                 }
@@ -650,21 +753,21 @@ impl Disk {
                 breakdown.head_switch += hs;
                 t += hs;
             }
-            cur_cyl = v.cyl;
-            cur_head = v.head;
+            *cur_cyl = v.cyl;
+            *cur_head = v.head;
 
             if vi == 0 {
                 if let Some(ready) = data_ready {
                     // Write settle (once per command), then wait for buffered
                     // data if the bus is still feeding the drive.
-                    if trc.on && self.config.write_settle > SimDur::ZERO {
+                    if trc.on && config.write_settle > SimDur::ZERO {
                         trc.events.push(TraceEvent::Settle {
                             req: trc.rid,
                             t: t.as_ns(),
-                            dur: self.config.write_settle.as_ns(),
+                            dur: config.write_settle.as_ns(),
                         });
                     }
-                    t += self.config.write_settle;
+                    t += config.write_settle;
                     if ready > t {
                         if trc.on {
                             trc.events.push(TraceEvent::Bus {
@@ -690,28 +793,16 @@ impl Disk {
                 }
             }
 
-            // Media access on this track.
+            // Media access on this track (angular distances per
+            // [`rotation::slot_distance`]).
             let track = geom.track(v.track.0);
-            let spt = track.spt();
-            let slot_frac = 1.0 / f64::from(spt);
+            let slot_frac = track.inv_spt();
             let arr_angle = spindle.angle_at(t);
-            // Angular distance (in revolutions) the platter must turn before
-            // `slot` passes under the head. Nanosecond quantization of event
-            // times can leave the head an infinitesimal hair past a slot it
-            // is in fact exactly aligned with (back-to-back sequential
-            // requests); distances within EPS of a full turn are therefore
-            // treated as zero.
-            const EPS: f64 = 1e-5;
-            let frac = |slot: u32| {
-                let mut d = track.slot_angle(slot) - arr_angle;
-                if d < 0.0 {
-                    d += 1.0;
-                }
-                if d >= 1.0 - EPS {
-                    d = 0.0;
-                }
-                d
-            };
+            // The explicit slot list, when the run straddles slipped
+            // defects; contiguous runs iterate `first_slot..=last_slot`.
+            let slot_list = v
+                .slot_idx
+                .map(|i| &slot_scratch[i as usize..i as usize + v.count as usize]);
 
             // Access-on-arrival (zero-latency) can reorder sectors *within*
             // one mechanical visit, so it applies when the visit covers the
@@ -720,20 +811,32 @@ impl Disk {
             // mechanism to revisit it after serving the later tracks, which
             // real firmware does not do — those visits wait for their first
             // sector like an ordinary disk.
-            let full_track = v.slots.len() as u32 == track.lbn_count();
-            let zero_latency_visit =
-                self.config.zero_latency && (full_track || vi == visits.len() - 1);
+            let full_track = v.count == track.lbn_count();
+            let zero_latency_visit = config.zero_latency && (full_track || vi == nvisits - 1);
             let (visit_end, rot, media) = if zero_latency_visit {
-                let mut min_d = f64::INFINITY;
-                let mut max_d = f64::NEG_INFINITY;
-                for &s in &v.slots {
-                    let d = frac(s);
-                    min_d = min_d.min(d);
-                    max_d = max_d.max(d);
-                    if want_avail {
-                        avail.push(t + spindle.sweep(d + slot_frac));
+                let (min_d, max_d) = if slot_list.is_none() && !want_avail {
+                    // Closed form: O(log spt), bit-identical to the scan.
+                    rotation::window_closed(track, arr_angle, v.first_slot, v.count)
+                } else {
+                    // Per-sector path: the bus model consumes every
+                    // sector's availability instant, or the run is
+                    // non-contiguous.
+                    let mut min_d = f64::INFINITY;
+                    let mut max_d = f64::NEG_INFINITY;
+                    let mut scan = |s: u32| {
+                        let d = rotation::slot_distance(track, arr_angle, s);
+                        min_d = min_d.min(d);
+                        max_d = max_d.max(d);
+                        if want_avail {
+                            avail.push(t + spindle.sweep(d + slot_frac));
+                        }
+                    };
+                    match slot_list {
+                        Some(slots) => slots.iter().for_each(|&s| scan(s)),
+                        None => (v.first_slot..=v.last_slot).for_each(&mut scan),
                     }
-                }
+                    (min_d, max_d)
+                };
                 let end = t + spindle.sweep(max_d + slot_frac);
                 (
                     end,
@@ -741,14 +844,18 @@ impl Disk {
                     spindle.sweep(max_d - min_d + slot_frac),
                 )
             } else {
-                let s0 = v.slots[0];
-                let d0 = frac(s0);
+                let s0 = v.first_slot;
+                let d0 = rotation::slot_distance(track, arr_angle, s0);
                 if want_avail {
-                    for &s in &v.slots {
+                    let mut push = |s: u32| {
                         avail.push(t + spindle.sweep(d0 + f64::from(s - s0 + 1) * slot_frac));
+                    };
+                    match slot_list {
+                        Some(slots) => slots.iter().for_each(|&s| push(s)),
+                        None => (v.first_slot..=v.last_slot).for_each(&mut push),
                     }
                 }
-                let span = v.slots[v.slots.len() - 1] - s0 + 1;
+                let span = v.last_slot - s0 + 1;
                 let end = t + spindle.sweep(d0 + f64::from(span) * slot_frac);
                 (
                     end,
@@ -770,7 +877,7 @@ impl Disk {
                     t: (t + rot).as_ns(),
                     dur: media.as_ns(),
                     track: v.track.0,
-                    sectors: v.slots.len() as u64,
+                    sectors: u64::from(v.count),
                 });
             }
             breakdown.rot_latency += rot;
@@ -782,7 +889,7 @@ impl Disk {
             // as rotational latency and this visit's sectors reach the
             // host only after the re-read.
             if faults_on {
-                let sectors = v.slots.len() as u64;
+                let sectors = u64::from(v.count);
                 if fault.media_error(trc.rid, vi as u64, sectors) {
                     let rev = spindle.revolution();
                     media_errors += 1;
@@ -809,17 +916,15 @@ impl Disk {
                 }
             }
         }
-        self.cur_cyl = cur_cyl;
-        self.cur_head = cur_head;
         // Reallocate grown defects now that the mechanical pass is over;
         // the new mapping applies from the next command on.
-        self.fault_stats.media_errors += media_errors;
+        fault_stats.media_errors += media_errors;
         for lbn in grown {
-            let kind = if self.config.geometry.add_grown_defect(lbn).is_ok() {
-                self.fault_stats.grown_defects += 1;
+            let kind = if config.geometry.add_grown_defect(lbn).is_ok() {
+                fault_stats.grown_defects += 1;
                 "grown_defect"
             } else {
-                self.fault_stats.grown_defects_unspared += 1;
+                fault_stats.grown_defects_unspared += 1;
                 "grown_defect_unspared"
             };
             if trc.on {
@@ -832,7 +937,7 @@ impl Disk {
                 });
             }
         }
-        (t, avail)
+        t
     }
 }
 
@@ -1093,6 +1198,71 @@ mod tests {
         assert_eq!(d.idle_at(), SimTime::ZERO);
         let c2 = d.service(Request::read(1000, 100), SimTime::ZERO);
         assert!(!c2.cache_hit);
+    }
+
+    #[test]
+    fn avail_scratch_capacity_survives_faulted_requests() {
+        // Regression for the old take/give-back hand-off: an early return
+        // (surfaced transient abort) or a fault-path detour must not drop
+        // the reusable buffer's capacity.
+        let mut d = test_disk(true, BusConfig::in_order(160.0));
+        let c = d.service(Request::read(0, 400), SimTime::ZERO);
+        let cap_before = d.avail_scratch.capacity();
+        assert!(cap_before >= 400, "scratch not primed: {cap_before}");
+
+        // Every command aborts transiently when surfaced via try_service.
+        d.config.fault.transient_per_million = 1_000_000;
+        let mut t = c.completion;
+        for i in 0..4u64 {
+            let r = d.try_service(Request::read(i * 37, 64), t);
+            if let Ok(c) = r {
+                t = c.completion;
+            }
+        }
+        assert!(
+            d.avail_scratch.capacity() >= cap_before,
+            "capacity dropped across surfaced transient faults"
+        );
+
+        // Recovered media errors (the in-visit fault detour) on reads and
+        // writes, including the internally retried transient path.
+        d.config.fault.transient_per_million = 500_000;
+        d.config.fault.media_per_million = 1_000_000;
+        for i in 0..4u64 {
+            let c = d.service(Request::read(i * 53, 128), t);
+            t = c.completion;
+            let c = d.service(Request::write(i * 53, 128), t);
+            t = c.completion;
+        }
+        assert!(
+            d.avail_scratch.capacity() >= cap_before,
+            "capacity dropped across recovered faults"
+        );
+    }
+
+    #[test]
+    fn service_batch_matches_sequential_service() {
+        let mk = || test_disk(true, BusConfig::in_order(160.0));
+        let mut batch: Vec<(Request, SimTime)> = Vec::new();
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut t = 0u64;
+        for i in 0..200u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let lbn = state % 19_000;
+            let len = 1 + state % 300;
+            let req = if i % 3 == 0 {
+                Request::write(lbn, len)
+            } else {
+                Request::read(lbn, len)
+            };
+            t += state % 2_000_000;
+            batch.push((req, SimTime::from_ns(t)));
+        }
+        let mut a = mk();
+        let batched = a.service_batch(&batch);
+        let mut b = mk();
+        let looped: Vec<Completion> = batch.iter().map(|&(r, at)| b.service(r, at)).collect();
+        assert_eq!(batched, looped);
     }
 
     #[test]

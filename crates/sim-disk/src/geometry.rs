@@ -142,6 +142,9 @@ pub struct Track {
     spt: u32,
     /// Angle of physical slot 0, in revolutions, at spindle phase 0.
     angle0: f64,
+    /// `1.0 / spt`, precomputed: the service path adds one slot fraction
+    /// per sweep and would otherwise pay a floating-point divide per visit.
+    inv_spt: f64,
     /// `slot_frac[s] = s / spt`, shared across the zone's tracks, so the
     /// access-on-arrival scan reads slot angles without a division.
     slot_frac: Arc<[f64]>,
@@ -203,6 +206,24 @@ impl Track {
         } else {
             a
         }
+    }
+
+    /// Angle (in revolutions, `[0,1)`) of physical slot 0 at spindle phase 0
+    /// — the raw value [`Track::slot_angle`] offsets by the slot fraction.
+    pub fn angle0(&self) -> f64 {
+        self.angle0
+    }
+
+    /// Exactly `1.0 / f64::from(self.spt())`, computed once at build time.
+    pub fn inv_spt(&self) -> f64 {
+        self.inv_spt
+    }
+
+    /// The precomputed `slot / spt` table shared by the zone's tracks:
+    /// `slot_fracs()[s]` is exactly the value [`Track::slot_angle`] adds to
+    /// [`Track::angle0`] for slot `s`. Non-decreasing in `s`.
+    pub fn slot_fracs(&self) -> &[f64] {
+        &self.slot_frac
     }
 
     /// Sorted factory-defective slots.
@@ -268,6 +289,75 @@ impl fmt::Display for GeometryError {
 
 impl Error for GeometryError {}
 
+/// Flat structure-of-arrays translation tables, rebuilt alongside the
+/// per-track map. LBN→track translation is the hottest operation in the
+/// engine; searching a dense `u64` array (instead of striding over
+/// 100-byte-plus [`Track`] structs) keeps the whole search path in a few
+/// cache lines, and zones whose tracks all map exactly `spt` LBNs skip the
+/// search entirely with one divide.
+#[derive(Debug, Clone)]
+struct HotTables {
+    /// `first_lbns[t]` is the first LBN of track `t`; the final entry is the
+    /// disk capacity, so `first_lbns[t + 1]` always bounds track `t`'s range.
+    first_lbns: Vec<u64>,
+    /// Per-zone first LBN (equal to the zone's first track's first LBN).
+    zone_first_lbn: Vec<u64>,
+    /// Per-zone first track id.
+    zone_first_track: Vec<u32>,
+    /// Per-zone sectors per track, widened for the division below.
+    zone_spt: Vec<u64>,
+    /// Whether every track in the zone maps exactly `spt` LBNs (no defects,
+    /// no spare slots, no reserved tracks) — the common case for the
+    /// pristine drive presets — enabling `track = first + offset / spt`.
+    zone_uniform: Vec<bool>,
+}
+
+impl HotTables {
+    fn build(tracks: &[Track], zones: &[ZoneInfo], capacity: u64, surfaces: u32) -> Self {
+        let mut first_lbns = Vec::with_capacity(tracks.len() + 1);
+        first_lbns.extend(tracks.iter().map(|t| t.first_lbn));
+        first_lbns.push(capacity);
+        let mut zone_first_lbn = Vec::with_capacity(zones.len());
+        let mut zone_first_track = Vec::with_capacity(zones.len());
+        let mut zone_spt = Vec::with_capacity(zones.len());
+        let mut zone_uniform = Vec::with_capacity(zones.len());
+        for z in zones {
+            let first_track = z.first_cyl * surfaces;
+            let track_count = (z.cylinders * surfaces) as usize;
+            let zone_tracks = &tracks[first_track as usize..first_track as usize + track_count];
+            zone_first_lbn.push(zone_tracks[0].first_lbn);
+            zone_first_track.push(first_track);
+            zone_spt.push(u64::from(z.spt));
+            zone_uniform.push(zone_tracks.iter().all(|t| t.count == t.spt));
+        }
+        HotTables {
+            first_lbns,
+            zone_first_lbn,
+            zone_first_track,
+            zone_spt,
+            zone_uniform,
+        }
+    }
+}
+
+/// Last index `i` with `table[i] <= lbn`, assuming `table[0] <= lbn` and
+/// `table` is non-decreasing. Branch-free binary search: the halving step
+/// uses an arithmetic select instead of a data-dependent branch, which on
+/// random lookups (every cache-missing request) avoids a mispredict per
+/// level.
+#[inline]
+fn last_le(table: &[u64], lbn: u64) -> usize {
+    debug_assert!(!table.is_empty() && table[0] <= lbn);
+    let mut i = 0usize;
+    let mut len = table.len();
+    while len > 1 {
+        let half = len / 2;
+        i += usize::from(table[i + half] <= lbn) * half;
+        len -= half;
+    }
+    i
+}
+
 /// A fully built disk layout with O(log n) translation in both directions.
 #[derive(Debug)]
 pub struct DiskGeometry {
@@ -280,6 +370,8 @@ pub struct DiskGeometry {
     /// Remapped LBNs (factory remap policy and grown defects): lbn → spare
     /// location.
     remaps: BTreeMap<u64, Pba>,
+    /// Flat SoA translation tables (see [`HotTables`]).
+    hot: HotTables,
     /// Track returned by the previous `track_of_lbn` call. Sequential and
     /// streaming access hits this track or the next one almost always,
     /// skipping the binary search. Relaxed ordering is enough: a stale
@@ -296,6 +388,7 @@ impl Clone for DiskGeometry {
             zone_first_cyl: self.zone_first_cyl.clone(),
             capacity: self.capacity,
             remaps: self.remaps.clone(),
+            hot: self.hot.clone(),
             last_track: AtomicU32::new(self.last_track.load(Ordering::Relaxed)),
         }
     }
@@ -367,27 +460,40 @@ impl DiskGeometry {
         if lbn >= self.capacity {
             return Err(GeometryError::LbnOutOfRange(lbn));
         }
+        let fl = &self.hot.first_lbns;
         // Fast path: the track found last time, or its successor. Track
-        // ranges are disjoint, so a containment hit is always the same
-        // track the binary search would find.
+        // LBN ranges are contiguous (`first_lbns[t + 1]` is track `t`'s
+        // end), so a containment hit is always the track the search below
+        // would find; an empty (spare) track's range is empty and can
+        // never hit.
         let hint = self.last_track.load(Ordering::Relaxed) as usize;
-        if let Some(t) = self.tracks.get(hint) {
-            if t.first_lbn <= lbn {
-                if lbn < t.end_lbn() {
-                    return Ok(TrackId(hint as u32));
-                }
-                if let Some(n) = self.tracks.get(hint + 1) {
-                    if n.first_lbn <= lbn && lbn < n.end_lbn() {
-                        self.last_track.store((hint + 1) as u32, Ordering::Relaxed);
-                        return Ok(TrackId((hint + 1) as u32));
-                    }
-                }
+        if fl[hint] <= lbn {
+            if lbn < fl[hint + 1] {
+                return Ok(TrackId(hint as u32));
+            }
+            if hint + 2 < fl.len() && fl[hint + 1] <= lbn && lbn < fl[hint + 2] {
+                self.last_track.store((hint + 1) as u32, Ordering::Relaxed);
+                return Ok(TrackId((hint + 1) as u32));
             }
         }
-        // partition_point over end_lbn: first track whose end is > lbn.
-        let idx = self.tracks.partition_point(|t| t.end_lbn() <= lbn);
+        // Zone lookup over the flat per-zone table (a handful of entries):
+        // the last zone whose first LBN is ≤ lbn holds it.
+        let zi = last_le(&self.hot.zone_first_lbn, lbn);
+        let idx = if self.hot.zone_uniform[zi] {
+            // Every track in the zone maps exactly spt LBNs: one divide.
+            self.hot.zone_first_track[zi] as usize
+                + ((lbn - self.hot.zone_first_lbn[zi]) / self.hot.zone_spt[zi]) as usize
+        } else {
+            // The last track whose first LBN is ≤ lbn. Empty (spare)
+            // tracks share their first LBN with their successor and so are
+            // never the last such track for an in-range lbn.
+            last_le(fl, lbn)
+        };
         debug_assert!(idx < self.tracks.len());
-        debug_assert!(self.tracks[idx].first_lbn <= lbn);
+        debug_assert!(
+            self.tracks[idx].first_lbn <= lbn && lbn < self.tracks[idx].end_lbn(),
+            "lbn {lbn} not on resolved track {idx}"
+        );
         self.last_track.store(idx as u32, Ordering::Relaxed);
         Ok(TrackId(idx as u32))
     }
@@ -419,7 +525,7 @@ impl DiskGeometry {
     }
 
     /// The physical slot holding the `logical`-th LBN of a track.
-    fn slot_of_logical(&self, t: &Track, logical: u32) -> u32 {
+    pub(crate) fn slot_of_logical(&self, t: &Track, logical: u32) -> u32 {
         match self.spec.policy {
             DefectPolicy::Slip => {
                 // LBNs occupy the first `count` non-defective slots.
@@ -481,32 +587,40 @@ impl DiskGeometry {
         }
     }
 
-    /// Physical slots, in slot order, of the LBN range `[start, start+len)`
-    /// restricted to a single track. Used by the drive model's media
-    /// scheduler.
+    /// Appends the physical slots, in slot order, of the LBN range
+    /// `[start, start+len)` restricted to a single track. Used by the drive
+    /// model's media scheduler when a run straddles slipped defects (the
+    /// contiguous common case needs no materialized list at all).
     ///
     /// # Panics
     ///
     /// Panics (debug) if the range is not fully on the given track or any LBN
     /// in it is remapped; the drive model handles remapped LBNs separately.
-    pub(crate) fn slots_for_range(&self, tid: TrackId, start: u64, len: u32) -> Vec<u32> {
+    pub(crate) fn slots_for_range_into(
+        &self,
+        tid: TrackId,
+        start: u64,
+        len: u32,
+        out: &mut Vec<u32>,
+    ) {
         let t = &self.tracks[tid.0 as usize];
         debug_assert!(start >= t.first_lbn && start + u64::from(len) <= t.end_lbn());
         let first_logical = (start - t.first_lbn) as u32;
-        (first_logical..first_logical + len)
-            .map(|l| self.slot_of_logical(t, l))
-            .collect()
+        out.extend((first_logical..first_logical + len).map(|l| self.slot_of_logical(t, l)));
     }
 
     /// Whether an LBN has been remapped (factory or grown).
     pub fn is_remapped(&self, lbn: u64) -> bool {
-        self.remaps.contains_key(&lbn)
+        !self.remaps.is_empty() && self.remaps.contains_key(&lbn)
     }
 
     /// The smallest remapped LBN in `[start, end)`, if any — an O(log n)
     /// range probe used by the drive model when splitting requests into
     /// same-track runs.
     pub fn first_remap_in(&self, start: u64, end: u64) -> Option<u64> {
+        if self.remaps.is_empty() {
+            return None;
+        }
         self.remaps.range(start..end).next().map(|(&l, _)| l)
     }
 
@@ -730,6 +844,7 @@ fn build_geometry(spec: GeometrySpec) -> Result<DiskGeometry, GeometryError> {
                         zone: m.zone,
                         spt: m.spt,
                         angle0: m.angle0,
+                        inv_spt: 1.0 / f64::from(m.spt),
                         slot_frac: zone_fracs[m.zone as usize].clone(),
                         defect_slots: defs,
                         grown_slots: Vec::new(),
@@ -776,6 +891,7 @@ fn build_geometry(spec: GeometrySpec) -> Result<DiskGeometry, GeometryError> {
                         zone: m.zone,
                         spt: m.spt,
                         angle0: m.angle0,
+                        inv_spt: 1.0 / f64::from(m.spt),
                         slot_frac: zone_fracs[m.zone as usize].clone(),
                         defect_slots: defs,
                         grown_slots: Vec::new(),
@@ -827,6 +943,7 @@ fn build_geometry(spec: GeometrySpec) -> Result<DiskGeometry, GeometryError> {
     if next_lbn == 0 {
         return Err(GeometryError::ZeroCapacity);
     }
+    let hot = HotTables::build(&tracks, &zones, next_lbn, surfaces);
     Ok(DiskGeometry {
         spec,
         tracks,
@@ -834,6 +951,7 @@ fn build_geometry(spec: GeometrySpec) -> Result<DiskGeometry, GeometryError> {
         zone_first_cyl,
         capacity: next_lbn,
         remaps,
+        hot,
         last_track: AtomicU32::new(0),
     })
 }
@@ -1062,8 +1180,40 @@ mod tests {
     #[test]
     fn slots_for_range_is_contiguous_without_defects() {
         let g = simple_spec().build().unwrap();
-        let slots = g.slots_for_range(TrackId(0), 10, 5);
+        let mut slots = Vec::new();
+        g.slots_for_range_into(TrackId(0), 10, 5, &mut slots);
         assert_eq!(slots, vec![10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn track_of_lbn_uniform_zone_fast_path_matches_search() {
+        // Pristine multi-zone disk: every zone is uniform, so lookups take
+        // the divide path. Cross-check against a linear scan.
+        let spec = GeometrySpec::pristine(
+            2,
+            vec![ZoneSpec::unskewed(5, 100), ZoneSpec::unskewed(5, 80)],
+        );
+        let g = spec.build().unwrap();
+        for lbn in 0..g.capacity_lbns() {
+            let tid = g.track_of_lbn(lbn).unwrap();
+            let t = g.track(tid.0);
+            assert!(t.first_lbn() <= lbn && lbn < t.end_lbn(), "lbn {lbn}");
+        }
+    }
+
+    #[test]
+    fn track_of_lbn_defective_zone_uses_search_path() {
+        // A defect makes one track shorter, so the zone is no longer
+        // uniform and lookups must fall back to the binary search.
+        let mut spec = simple_spec();
+        spec.spare = SpareScheme::SectorsPerCylinder(4);
+        spec.defects = vec![DefectLocation::new(3, 0, 7)];
+        let g = spec.build().unwrap();
+        for lbn in (0..g.capacity_lbns()).rev() {
+            let tid = g.track_of_lbn(lbn).unwrap();
+            let t = g.track(tid.0);
+            assert!(t.first_lbn() <= lbn && lbn < t.end_lbn(), "lbn {lbn}");
+        }
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod mech;
 pub mod metrics;
 pub mod models;
 pub mod request;
+pub mod rotation;
 pub mod trace;
 
 pub use disk::Disk;

@@ -1,0 +1,378 @@
+//! Closed-form rotational-window arithmetic for zero-latency media access.
+//!
+//! A zero-latency (access-on-arrival) visit reads a track's sectors in
+//! whatever rotational order they pass under the head, so its timing is
+//! fully determined by two numbers: the *smallest* and the *largest*
+//! angular distance from the head's arrival angle to any requested slot.
+//! The engine used to find them by scanning every slot of the visit —
+//! O(sectors per track) floating-point work per visit, the dominant cost
+//! of trace-scale simulation. This module computes the same two numbers in
+//! O(log spt) by locating the extreme slots with binary searches and
+//! evaluating the *identical* floating-point expression only there, so the
+//! results are bit-for-bit equal to the scan's.
+//!
+//! # Why the closed form is exact
+//!
+//! For a contiguous slot run `[first, first+count)` the per-slot distance
+//! ([`slot_distance`]) is built from pieces that are each monotone
+//! non-decreasing in the slot index `s`:
+//!
+//! 1. the raw angle `angle0 + slot_fracs[s]` (the table is non-decreasing
+//!    and adding a constant is monotone under rounding);
+//! 2. the conditional `- 1.0` inside [`Track::slot_angle`] fires on a
+//!    suffix of the run (the raw angle is monotone), and on `[1, 2)` the
+//!    subtraction is exact by Sterbenz's lemma, preserving monotonicity;
+//! 3. subtracting the arrival angle is monotone, and the sign test `d <
+//!    0.0` agrees exactly with `slot_angle(s) < arr_angle` (an IEEE
+//!    subtraction is negative iff the real difference is);
+//! 4. the `+ 1.0` for negative distances applies on a prefix of each
+//!    monotone segment and is itself monotone;
+//! 5. the EPS snap to zero fires on a suffix of each resulting segment
+//!    (where the pre-snap distance reaches `1.0 - EPS`).
+//!
+//! The run therefore splits into at most four sub-segments on which the
+//! distance is monotone non-decreasing, each with an all-zero snapped
+//! suffix. Every boundary is found by binary search on the exact same
+//! computed values, and the extremes can only sit at sub-segment endpoints
+//! (or be exactly `0.0` in a snapped suffix).
+
+use crate::geometry::Track;
+
+/// Angular slack treated as "already under the head".
+///
+/// Nanosecond quantization of event times can leave the head an
+/// infinitesimal hair past a slot it is in fact exactly aligned with
+/// (back-to-back sequential requests); distances within `EPS` of a full
+/// turn are therefore snapped to zero.
+pub const EPS: f64 = 1e-5;
+
+/// Angular distance (in revolutions, `[0, 1)`) the platter must turn after
+/// arriving at `arr_angle` before `slot` passes under the head.
+///
+/// This is the exact expression the historical per-sector scan evaluated;
+/// both [`window_scan`] and [`window_closed`] are defined in terms of it.
+#[inline]
+pub fn slot_distance(track: &Track, arr_angle: f64, slot: u32) -> f64 {
+    let mut d = track.slot_angle(slot) - arr_angle;
+    if d < 0.0 {
+        d += 1.0;
+    }
+    if d >= 1.0 - EPS {
+        d = 0.0;
+    }
+    d
+}
+
+/// Minimum and maximum [`slot_distance`] over the contiguous slot run
+/// `[first, first + count)`, by scanning every slot.
+///
+/// This is the pre-closed-form algorithm, kept as the oracle the property
+/// tests compare [`window_closed`] against (and as the code path the
+/// engine still uses when it must touch every slot anyway to collect
+/// per-sector availability instants for the bus model).
+///
+/// # Panics
+///
+/// Panics (debug) if the run is empty or extends past the track.
+pub fn window_scan(track: &Track, arr_angle: f64, first: u32, count: u32) -> (f64, f64) {
+    debug_assert!(count > 0);
+    debug_assert!(first + count <= track.spt());
+    let mut min_d = f64::INFINITY;
+    let mut max_d = f64::NEG_INFINITY;
+    for s in first..first + count {
+        let d = slot_distance(track, arr_angle, s);
+        min_d = min_d.min(d);
+        max_d = max_d.max(d);
+    }
+    (min_d, max_d)
+}
+
+/// First `s` in `[lo, hi)` for which `pred(s)` holds, assuming `pred` is
+/// monotone over the range (false for a prefix, true for the rest);
+/// returns `hi` when it never holds.
+///
+/// `guess` seeds the search: every boundary below is "first slot where a
+/// near-linear function of `s` crosses a threshold", so arithmetic
+/// predicts the answer to within a slot or two and the loops only walk
+/// off the floating-point rounding error. Correctness never depends on
+/// the guess — the exits are decided purely by `pred`, and a bad guess
+/// just walks further.
+#[inline]
+fn seeded_bound(lo: u32, hi: u32, guess: u32, pred: impl Fn(u32) -> bool) -> u32 {
+    let mut s = guess.clamp(lo, hi);
+    while s > lo && pred(s - 1) {
+        s -= 1;
+    }
+    while s < hi && !pred(s) {
+        s += 1;
+    }
+    s
+}
+
+/// Predicted slot index where `fracs[s]` (≈ `s / spt`) reaches `threshold`,
+/// used only to seed [`seeded_bound`].
+#[inline]
+fn guess_slot(threshold: f64, spt: f64) -> u32 {
+    let g = threshold * spt;
+    if g <= 0.0 {
+        0
+    } else if g >= spt {
+        // Also covers NaN-free saturation; spt fits in u32.
+        spt as u32
+    } else {
+        g as u32
+    }
+}
+
+/// Closed-form equivalent of [`window_scan`]: the same (min, max) pair,
+/// bit-for-bit, in O(log spt) instead of O(count).
+///
+/// See the module documentation for why the candidate set below provably
+/// contains both extremes.
+///
+/// # Panics
+///
+/// Panics (debug) if the run is empty or extends past the track.
+pub fn window_closed(track: &Track, arr_angle: f64, first: u32, count: u32) -> (f64, f64) {
+    debug_assert!(count > 0);
+    debug_assert!(first + count <= track.spt());
+    if count <= 2 {
+        // Degenerate runs: the scan *is* the cheapest correct algorithm.
+        return window_scan(track, arr_angle, first, count);
+    }
+    let angle0 = track.angle0();
+    let fracs = track.slot_fracs();
+    let spt_f = f64::from(track.spt());
+    let end = first + count;
+
+    // Split 1: where the raw angle crosses 1.0 and `slot_angle`'s
+    // conditional subtraction kicks in. `slot_angle` is monotone
+    // non-decreasing on each side.
+    let wrap = seeded_bound(first, end, guess_slot(1.0 - angle0, spt_f), |s| {
+        angle0 + fracs[s as usize] >= 1.0
+    });
+
+    // Fast path: the pre-snap distance is monotone non-decreasing on each
+    // of the ≤4 pieces cut by `wrap` and by the `d < 0.0` crossover, so
+    // its extremes over the run sit at piece endpoints. Evaluating just
+    // those candidates also proves whether the EPS snap fires anywhere
+    // (its trigger is a pre-snap maximum, which is itself a candidate);
+    // when it does not — almost always — the candidate values *are* the
+    // final distances and the four snap searches below are skipped.
+    let mut cands = [0u32; 8];
+    let mut n = 0;
+    for &(seg_lo, seg_hi, off) in &[(first, wrap, 0.0), (wrap, end, 1.0)] {
+        if seg_lo >= seg_hi {
+            continue;
+        }
+        // Split 2: where the `d < 0.0` branch stops firing.
+        let cross = seeded_bound(
+            seg_lo,
+            seg_hi,
+            guess_slot(arr_angle - angle0 + off, spt_f),
+            |s| track.slot_angle(s) >= arr_angle,
+        );
+        // Piece endpoints, clamped into the segment (duplicates are fine).
+        cands[n] = seg_lo;
+        cands[n + 1] = cross.max(seg_lo + 1) - 1;
+        cands[n + 2] = cross.min(seg_hi - 1);
+        cands[n + 3] = seg_hi - 1;
+        n += 4;
+    }
+    // Independent pre-snap evaluations (no loop-carried chain), then a
+    // pairwise reduction. The global pre-snap maximum is among the
+    // candidates, so `max_d` alone decides whether any slot snaps.
+    let pre = |s: u32| {
+        let mut d = track.slot_angle(s) - arr_angle;
+        if d < 0.0 {
+            d += 1.0;
+        }
+        d
+    };
+    let (min_d, max_d);
+    if n == 4 {
+        let (d0, d1, d2, d3) = (pre(cands[0]), pre(cands[1]), pre(cands[2]), pre(cands[3]));
+        min_d = d0.min(d1).min(d2.min(d3));
+        max_d = d0.max(d1).max(d2.max(d3));
+    } else {
+        let (d0, d1, d2, d3) = (pre(cands[0]), pre(cands[1]), pre(cands[2]), pre(cands[3]));
+        let (d4, d5, d6, d7) = (pre(cands[4]), pre(cands[5]), pre(cands[6]), pre(cands[7]));
+        min_d = d0.min(d1).min(d2.min(d3)).min(d4.min(d5).min(d6.min(d7)));
+        max_d = d0.max(d1).max(d2.max(d3)).max(d4.max(d5).max(d6.max(d7)));
+    }
+    if max_d < 1.0 - EPS {
+        return (min_d, max_d);
+    }
+    window_snapped(track, arr_angle, first, end, wrap, angle0, spt_f)
+}
+
+/// Slow path of [`window_closed`] for runs where the EPS snap fires on at
+/// least one slot: locates every snap boundary by search so snapped
+/// suffixes contribute exactly `0.0`.
+#[cold]
+fn window_snapped(
+    track: &Track,
+    arr_angle: f64,
+    first: u32,
+    end: u32,
+    wrap: u32,
+    angle0: f64,
+    spt_f: f64,
+) -> (f64, f64) {
+    // Pre-snap distance: monotone within each of the sub-segments below.
+    let pre_snap = |s: u32| {
+        let mut d = track.slot_angle(s) - arr_angle;
+        if d < 0.0 {
+            d += 1.0;
+        }
+        d
+    };
+
+    let mut min_d = f64::INFINITY;
+    let mut max_d = f64::NEG_INFINITY;
+    // `off` is the wrap correction already applied inside `slot_angle` on
+    // each side of `wrap`; the seed guesses below add it back so every
+    // threshold is expressed against the raw `fracs` table.
+    for &(seg_lo, seg_hi, off) in &[(first, wrap, 0.0), (wrap, end, 1.0)] {
+        if seg_lo >= seg_hi {
+            continue;
+        }
+        // Split 2: where the `d < 0.0` branch stops firing. Both sides are
+        // monotone non-decreasing in the pre-snap distance.
+        let cross = seeded_bound(
+            seg_lo,
+            seg_hi,
+            guess_slot(arr_angle - angle0 + off, spt_f),
+            |s| track.slot_angle(s) >= arr_angle,
+        );
+        for &(lo, hi, thr) in &[
+            (seg_lo, cross, arr_angle - EPS),
+            (cross, seg_hi, 1.0 - EPS + arr_angle),
+        ] {
+            if lo >= hi {
+                continue;
+            }
+            // Split 3: where the EPS snap starts; everything from there on
+            // is exactly 0.0.
+            let snap = seeded_bound(lo, hi, guess_slot(thr - angle0 + off, spt_f), |s| {
+                pre_snap(s) >= 1.0 - EPS
+            });
+            if snap > lo {
+                // Unsnapped monotone prefix: extremes at its endpoints,
+                // evaluated through the very same expression the scan uses.
+                let d_lo = slot_distance(track, arr_angle, lo);
+                let d_hi = slot_distance(track, arr_angle, snap - 1);
+                min_d = min_d.min(d_lo.min(d_hi));
+                max_d = max_d.max(d_lo.max(d_hi));
+            }
+            if snap < hi {
+                min_d = min_d.min(0.0);
+                max_d = max_d.max(0.0);
+            }
+        }
+    }
+    (min_d, max_d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{GeometrySpec, ZoneSpec};
+
+    fn track_with(
+        spt: u32,
+        track_skew: u32,
+        cyl_skew: u32,
+        tid: u32,
+    ) -> crate::geometry::DiskGeometry {
+        let g = GeometrySpec::pristine(
+            2,
+            vec![ZoneSpec {
+                cylinders: 4,
+                spt,
+                track_skew,
+                cyl_skew,
+            }],
+        )
+        .build()
+        .unwrap();
+        assert!(tid < g.num_tracks());
+        g
+    }
+
+    fn check_all_runs(g: &crate::geometry::DiskGeometry, tid: u32, arr: f64) {
+        let t = g.track(tid);
+        let spt = t.spt();
+        for first in [0, 1, spt / 3, spt - 1] {
+            for count in [1, 2, spt / 2, spt - first] {
+                if count == 0 || first + count > spt {
+                    continue;
+                }
+                let scan = window_scan(t, arr, first, count);
+                let closed = window_closed(t, arr, first, count);
+                assert_eq!(
+                    scan.0.to_bits(),
+                    closed.0.to_bits(),
+                    "min mismatch spt={spt} tid={tid} arr={arr} run=[{first},+{count})"
+                );
+                assert_eq!(
+                    scan.1.to_bits(),
+                    closed.1.to_bits(),
+                    "max mismatch spt={spt} tid={tid} arr={arr} run=[{first},+{count})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_scan_across_angles() {
+        for spt in [1u32, 2, 3, 7, 200, 528] {
+            let g = track_with(spt, spt / 7, spt / 5, 3);
+            for tid in 0..4 {
+                for arr in [
+                    0.0,
+                    0.25,
+                    0.999,
+                    0.999999,
+                    1.0 - EPS,
+                    1.0 - EPS / 2.0,
+                    0.5 - 1e-12,
+                    g.track(tid).slot_angle(spt / 2),
+                ] {
+                    check_all_runs(&g, tid, arr);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_scan_near_slot_boundaries() {
+        // Arrival angles a hair before/at/after each slot angle exercise
+        // every branch boundary, including the EPS snap.
+        let g = track_with(64, 9, 17, 2);
+        let t = g.track(2);
+        for s in 0..64 {
+            let a = t.slot_angle(s);
+            for arr in [
+                a,
+                (a - 1e-9).rem_euclid(1.0),
+                (a + 1e-9).rem_euclid(1.0),
+                (a - EPS / 2.0).rem_euclid(1.0),
+                (a + EPS / 2.0).rem_euclid(1.0),
+            ] {
+                check_all_runs(&g, 2, arr);
+            }
+        }
+    }
+
+    #[test]
+    fn full_track_window_spans_whole_revolution() {
+        let g = track_with(200, 20, 40, 1);
+        let t = g.track(1);
+        let (min_d, max_d) = window_closed(t, 0.123456, 0, 200);
+        // Some slot is (nearly) under the head and some slot is (nearly) a
+        // full turn away.
+        assert!(min_d < 1.0 / 200.0);
+        assert!(max_d > 1.0 - 2.0 / 200.0);
+    }
+}

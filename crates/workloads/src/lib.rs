@@ -5,9 +5,12 @@
 //!   results);
 //! * [`apps`] — application-level workloads on the FFS prototype (Table 2):
 //!   large-file scan / diff / copy, a Postmark-like small-file transaction
-//!   mix, an SSH-build-like phase mix, and `head*`.
+//!   mix, an SSH-build-like phase mix, and `head*`;
+//! * [`replay`] — timestamped block-trace replay through the batched
+//!   service API, the engine-throughput workload.
 
 #![warn(missing_docs)]
 
 pub mod apps;
 pub mod microbench;
+pub mod replay;
