@@ -16,6 +16,7 @@
 //! | `fig10` | Figure 10 — LFS overall write cost vs segment size |
 //! | `extraction` | §4.1 — track-boundary extraction cost and accuracy |
 //! | `ablation` | §5.2 ablations — zero-latency / queueing in isolation |
+//! | `server_sweep` | open-loop server: response latency vs offered load per scheduler |
 //!
 //! Every binary accepts `--seed <n>`, `--threads <n>`, and a `--quick` flag
 //! that shrinks sample counts for smoke testing. Simulation cells fan out

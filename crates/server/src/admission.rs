@@ -1,0 +1,176 @@
+//! Bounded admission queue with typed overload rejection.
+//!
+//! The server's front end: arrivals are offered in trace order; when the
+//! queue is at its configured depth bound the arrival is refused with a
+//! typed [`AdmissionError`] rather than queued without limit, so overload
+//! shows up as an explicit rejection count instead of unbounded latency.
+
+use sim_disk::disk::Request;
+use sim_disk::SimTime;
+use std::error::Error;
+use std::fmt;
+
+/// A client request waiting in the server's admission queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Queued {
+    /// Stable client-request identity: its index in the arrival trace.
+    /// Ids are assigned in arrival order, so later arrivals always carry
+    /// larger ids — schedulers use `(lbn, id)` as a total order.
+    pub id: u64,
+    /// When the request arrived at the server.
+    pub arrival: SimTime,
+    /// The block-level request.
+    pub request: Request,
+}
+
+/// Why an arrival was refused admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The queue was already at its configured depth bound.
+    QueueFull {
+        /// Queue depth at the instant of rejection (equals the bound).
+        depth: usize,
+        /// The configured bound.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::QueueFull { depth, limit } => {
+                write!(f, "admission queue full ({depth} of {limit})")
+            }
+        }
+    }
+}
+
+impl Error for AdmissionError {}
+
+/// The bounded queue fronting the server loop.
+///
+/// Entries stay in admission (arrival) order; schedulers reorder at
+/// dispatch time via [`entries_mut`](AdmissionQueue::entries_mut), not
+/// here. The queue tracks its own admission/rejection counters and the
+/// high-water depth.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    limit: usize,
+    entries: Vec<Queued>,
+    admitted: u64,
+    rejected: u64,
+    max_depth: usize,
+}
+
+impl AdmissionQueue {
+    /// Creates an empty queue bounded at `limit` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero — a server that can hold no request at
+    /// all would reject every arrival.
+    pub fn new(limit: usize) -> Self {
+        assert!(limit > 0, "queue limit must be positive");
+        AdmissionQueue {
+            limit,
+            entries: Vec::new(),
+            admitted: 0,
+            rejected: 0,
+            max_depth: 0,
+        }
+    }
+
+    /// Offers one arrival; admits it or returns the typed rejection.
+    pub fn offer(&mut self, q: Queued) -> Result<(), AdmissionError> {
+        if self.entries.len() >= self.limit {
+            self.rejected += 1;
+            return Err(AdmissionError::QueueFull {
+                depth: self.entries.len(),
+                limit: self.limit,
+            });
+        }
+        self.entries.push(q);
+        self.admitted += 1;
+        self.max_depth = self.max_depth.max(self.entries.len());
+        Ok(())
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured depth bound.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// The queued entries, in admission order.
+    pub fn entries(&self) -> &[Queued] {
+        &self.entries
+    }
+
+    /// Mutable access for schedulers, which remove the entries they
+    /// dispatch. Depth accounting reads the length afterwards, so
+    /// schedulers only need to take entries out, never push.
+    pub fn entries_mut(&mut self) -> &mut Vec<Queued> {
+        &mut self.entries
+    }
+
+    /// Arrivals admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Arrivals refused so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// High-water queue depth.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(id: u64) -> Queued {
+        Queued {
+            id,
+            arrival: SimTime::from_ns(id * 1000),
+            request: Request::read(id * 8, 8),
+        }
+    }
+
+    #[test]
+    fn admits_until_full_then_rejects_typed() {
+        let mut queue = AdmissionQueue::new(2);
+        queue.offer(q(0)).unwrap();
+        queue.offer(q(1)).unwrap();
+        let err = queue.offer(q(2)).unwrap_err();
+        assert_eq!(err, AdmissionError::QueueFull { depth: 2, limit: 2 });
+        assert_eq!(err.to_string(), "admission queue full (2 of 2)");
+        assert_eq!(queue.admitted(), 2);
+        assert_eq!(queue.rejected(), 1);
+        assert_eq!(queue.max_depth(), 2);
+    }
+
+    #[test]
+    fn draining_reopens_admission() {
+        let mut queue = AdmissionQueue::new(1);
+        queue.offer(q(0)).unwrap();
+        assert!(queue.offer(q(1)).is_err());
+        queue.entries_mut().clear();
+        queue.offer(q(2)).unwrap();
+        assert_eq!(queue.entries()[0].id, 2);
+        assert_eq!(queue.max_depth(), 1);
+    }
+}

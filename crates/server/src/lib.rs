@@ -1,0 +1,532 @@
+//! An open-loop storage server over the simulated drive.
+//!
+//! Every figure in the stack before this crate was closed-loop: a fixed
+//! number of outstanding requests, so the drive sets the pace and queues
+//! never grow. The paper's argument for track-aligned extents, though, is
+//! about *service-time predictability* — and predictability only matters
+//! under an open-loop arrival process, where work keeps arriving whether
+//! or not the drive keeps up and every millisecond of excess service time
+//! compounds into queueing delay. This crate runs the drive as a server:
+//!
+//! * a bounded [`admission`] queue with typed overload rejection;
+//! * pluggable [`sched`] dispatch policies — FIFO, C-LOOK, and a
+//!   traxtent-aware batcher that coalesces queued requests into
+//!   track-aligned commands on trusted tracks (degrading to C-LOOK where
+//!   boundary confidence is low);
+//! * the [`serve`] loop itself, which drives
+//!   [`Disk::service_batch_into`] on simulated time and reports response
+//!   latency percentiles, queue depths, rejections, and throughput.
+//!
+//! Determinism: the loop advances a single simulated clock; given the
+//! same trace, config, and drive, the result is bit-identical on any
+//! machine and at any host thread count (the server itself never
+//! spawns threads — parallel sweeps fan whole cells out via
+//! `bench::exec`).
+//!
+//! # Example
+//!
+//! ```
+//! use server::{serve, ServerConfig, SchedulerKind};
+//! use sim_disk::disk::Disk;
+//! use sim_disk::models::quantum_atlas_10k_ii;
+//! use workloads::replay::{synthetic_trace, SyntheticSpec};
+//!
+//! let mut disk = Disk::new(quantum_atlas_10k_ii());
+//! let trace = synthetic_trace(&SyntheticSpec {
+//!     count: 200,
+//!     interarrival_ms: 5.0,
+//!     io_sectors: 64,
+//!     read_fraction: 0.7,
+//!     capacity_lbns: disk.geometry().capacity_lbns(),
+//!     seed: 42,
+//! });
+//! let result = serve(
+//!     &mut disk,
+//!     &trace,
+//!     &ServerConfig::new(SchedulerKind::CLook),
+//! )
+//! .unwrap();
+//! assert_eq!(result.completed() + result.rejected(), 200);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod sched;
+
+pub use admission::{AdmissionError, AdmissionQueue, Queued};
+pub use sched::{CLook, Dispatch, Fifo, Scheduler, SchedulerKind, Traxtent};
+
+use sim_disk::disk::{Disk, Request};
+use sim_disk::{Completion, SimTime};
+use std::error::Error;
+use std::fmt;
+use traxtent::obs::Registry;
+use traxtent::{stats, ConfidentBoundaries, TrackBoundaries};
+use workloads::replay::TraceRecord;
+
+/// Server configuration: queue bound, dispatch policy, batch width.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Admission-queue depth bound; arrivals beyond it are rejected.
+    pub queue_limit: usize,
+    /// Most client requests dispatched per scheduling round.
+    pub max_batch: usize,
+    /// Dispatch policy.
+    pub scheduler: SchedulerKind,
+    /// Boundary knowledge for [`SchedulerKind::Traxtent`]; ignored by the
+    /// other policies and required (typed error) by that one.
+    pub boundaries: Option<ConfidentBoundaries>,
+    /// Confidence below which a track is treated as unknown.
+    pub confidence_threshold: f64,
+}
+
+impl ServerConfig {
+    /// A config with the defaults the figures use: queue bound 128,
+    /// batch width 32, confidence threshold 0.9.
+    pub fn new(scheduler: SchedulerKind) -> Self {
+        ServerConfig {
+            queue_limit: 128,
+            max_batch: 32,
+            scheduler,
+            boundaries: None,
+            confidence_threshold: 0.9,
+        }
+    }
+
+    /// Sets the boundary table (required for the traxtent scheduler).
+    pub fn with_boundaries(mut self, boundaries: ConfidentBoundaries) -> Self {
+        self.boundaries = Some(boundaries);
+        self
+    }
+}
+
+/// Why [`serve`] refused to run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// The traxtent scheduler was requested without a boundary table.
+    MissingBoundaries,
+    /// The trace's arrivals are not sorted; carries the first offending
+    /// record index.
+    UnsortedArrivals {
+        /// 0-based index of the record arriving before its predecessor.
+        index: usize,
+    },
+    /// A trace request runs past the drive's capacity; carries its index.
+    BeyondCapacity {
+        /// 0-based index of the offending record.
+        index: usize,
+    },
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::MissingBoundaries => {
+                write!(f, "traxtent scheduler needs a boundary table")
+            }
+            ServerError::UnsortedArrivals { index } => {
+                write!(f, "trace record {index} arrives before its predecessor")
+            }
+            ServerError::BeyondCapacity { index } => {
+                write!(f, "trace record {index} runs past drive capacity")
+            }
+        }
+    }
+}
+
+impl Error for ServerError {}
+
+/// One client request's fate, as seen by the client.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientCompletion {
+    /// The request's index in the arrival trace.
+    pub id: u64,
+    /// When it arrived at the server.
+    pub arrival: SimTime,
+    /// When the drive finished it (response = completion − arrival,
+    /// queueing delay included).
+    pub completion: SimTime,
+    /// Whether it was served by a coalesced (multi-request) command.
+    pub coalesced: bool,
+}
+
+impl ClientCompletion {
+    /// Client-observed response time in milliseconds.
+    pub fn response_ms(&self) -> f64 {
+        self.completion.since(self.arrival).as_millis_f64()
+    }
+}
+
+/// The measured outcome of a [`serve`] run.
+#[derive(Debug, Clone)]
+pub struct ServerResult {
+    /// Per-request completions, sorted by trace index.
+    pub completions: Vec<ClientCompletion>,
+    /// Trace indices refused admission, in arrival order.
+    pub rejected_ids: Vec<u64>,
+    /// High-water admission-queue depth.
+    pub max_depth: usize,
+    /// Disk commands issued (≤ completed requests when coalescing).
+    pub dispatches: u64,
+    /// Client requests served by multi-request commands.
+    pub coalesced_requests: u64,
+    /// Elevator wrap-arounds (0 for FIFO).
+    pub wraps: u64,
+    /// Instant the last command completed.
+    pub sim_end: SimTime,
+    /// Time-weighted integral of queue depth, in depth·nanoseconds.
+    depth_ns: u128,
+}
+
+impl ServerResult {
+    /// Requests that completed.
+    pub fn completed(&self) -> u64 {
+        self.completions.len() as u64
+    }
+
+    /// Requests refused admission.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_ids.len() as u64
+    }
+
+    /// Per-request response times in milliseconds, in trace order.
+    pub fn response_ms(&self) -> Vec<f64> {
+        self.completions.iter().map(|c| c.response_ms()).collect()
+    }
+
+    /// Response-time percentile (`p` in `[0, 1]`), or 0 with no
+    /// completions.
+    pub fn percentile_ms(&self, p: f64) -> f64 {
+        let xs = self.response_ms();
+        if xs.is_empty() {
+            0.0
+        } else {
+            stats::percentile(&xs, p)
+        }
+    }
+
+    /// Mean response time in milliseconds.
+    pub fn mean_response_ms(&self) -> f64 {
+        stats::mean(&self.response_ms())
+    }
+
+    /// Completed requests per simulated second.
+    pub fn throughput_rps(&self) -> f64 {
+        let span = self.sim_end.as_secs_f64();
+        if span > 0.0 {
+            self.completions.len() as f64 / span
+        } else {
+            0.0
+        }
+    }
+
+    /// Time-weighted mean queue depth over the run.
+    pub fn mean_depth(&self) -> f64 {
+        let span = self.sim_end.as_ns();
+        if span > 0 {
+            self.depth_ns as f64 / span as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of arrivals refused admission.
+    pub fn rejection_fraction(&self) -> f64 {
+        let total = self.completed() + self.rejected();
+        if total > 0 {
+            self.rejected() as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Exports counters into the observability registry under `server.*`
+    /// (totals accumulate across sweep cells sharing one registry; the
+    /// depth high-water mark merges via `set_max`).
+    pub fn export_metrics(&self, reg: &Registry) {
+        reg.add("server.completed", self.completed());
+        reg.add("server.rejected", self.rejected());
+        reg.add("server.dispatches", self.dispatches);
+        reg.add("server.coalesced_requests", self.coalesced_requests);
+        reg.add("server.wraps", self.wraps);
+        reg.set_max("server.max_depth", self.max_depth as u64);
+    }
+}
+
+/// Builds the ground-truth track-boundary table of a drive, the way the
+/// extraction figures do: one entry per track that maps LBNs.
+pub fn drive_boundaries(disk: &Disk) -> TrackBoundaries {
+    TrackBoundaries::new(
+        disk.geometry()
+            .iter_tracks()
+            .filter(|(_, t)| t.lbn_count() > 0)
+            .map(|(_, t)| t.first_lbn())
+            .collect(),
+        disk.geometry().capacity_lbns(),
+    )
+    .expect("geometry yields a valid table")
+}
+
+/// Runs the open-loop server over a sorted arrival trace.
+///
+/// The loop alternates admission and dispatch on one simulated clock:
+/// every arrival at or before `now` is offered to the bounded queue in
+/// trace order (overflow becomes a typed rejection); the scheduler then
+/// picks one round of commands, all issued at `now` through the batched
+/// service path; `now` advances to the round's last completion — during
+/// which newly arrived requests accumulate, which is exactly how open-
+/// loop queues build. When the queue runs dry the clock jumps to the
+/// next arrival.
+///
+/// Client response time is `completion − arrival` and therefore includes
+/// queueing delay, not just drive service time.
+pub fn serve(
+    disk: &mut Disk,
+    records: &[TraceRecord],
+    cfg: &ServerConfig,
+) -> Result<ServerResult, ServerError> {
+    let capacity = disk.geometry().capacity_lbns();
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 && r.arrival < records[i - 1].arrival {
+            return Err(ServerError::UnsortedArrivals { index: i });
+        }
+        if r.request.lbn + r.request.len > capacity {
+            return Err(ServerError::BeyondCapacity { index: i });
+        }
+    }
+    let mut sched: Box<dyn Scheduler> = match cfg.scheduler {
+        SchedulerKind::Fifo => Box::new(Fifo),
+        SchedulerKind::CLook => Box::new(CLook::new()),
+        SchedulerKind::Traxtent => {
+            let b = cfg
+                .boundaries
+                .clone()
+                .ok_or(ServerError::MissingBoundaries)?;
+            Box::new(Traxtent::new(b, cfg.confidence_threshold))
+        }
+    };
+
+    let mut queue = AdmissionQueue::new(cfg.queue_limit);
+    let mut completions: Vec<ClientCompletion> = Vec::with_capacity(records.len());
+    let mut rejected_ids: Vec<u64> = Vec::new();
+    let mut dispatches = 0u64;
+    let mut coalesced_requests = 0u64;
+    // Exact time-weighted depth integral: advanced to each arrival and
+    // each dispatch instant with the depth that held since the previous
+    // event. Integer arithmetic keeps it bit-deterministic.
+    let mut depth_ns = 0u128;
+    let mut last_event = SimTime::ZERO;
+    let mut integrate = |depth: usize, upto: SimTime, last: &mut SimTime| {
+        depth_ns += depth as u128 * u128::from(upto.since(*last).as_ns());
+        *last = upto;
+    };
+
+    let mut now = SimTime::ZERO;
+    let mut next = 0usize;
+    let mut batch: Vec<(Request, SimTime)> = Vec::new();
+    let mut results: Vec<Completion> = Vec::new();
+
+    loop {
+        // Admit everything that has arrived by `now`, in trace order.
+        while next < records.len() && records[next].arrival <= now {
+            let r = &records[next];
+            integrate(queue.len(), r.arrival.max(last_event), &mut last_event);
+            let queued = Queued {
+                id: next as u64,
+                arrival: r.arrival,
+                request: r.request,
+            };
+            if queue.offer(queued).is_err() {
+                rejected_ids.push(next as u64);
+            }
+            next += 1;
+        }
+        if queue.is_empty() {
+            match records.get(next) {
+                Some(r) => {
+                    // Idle: jump the clock to the next arrival.
+                    now = now.max(r.arrival);
+                    continue;
+                }
+                None => break,
+            }
+        }
+        // One scheduling round, issued at `now`.
+        integrate(queue.len(), now, &mut last_event);
+        let round = sched.select(queue.entries_mut(), cfg.max_batch);
+        assert!(!round.is_empty(), "scheduler made no progress");
+        batch.clear();
+        batch.extend(round.iter().map(|d| (d.request, now)));
+        results.clear();
+        disk.service_batch_into(&batch, &mut results);
+        dispatches += round.len() as u64;
+        let mut round_end = now;
+        for (d, c) in round.iter().zip(&results) {
+            round_end = round_end.max(c.completion);
+            if d.coalesced() {
+                coalesced_requests += d.parts.len() as u64;
+            }
+            for p in &d.parts {
+                completions.push(ClientCompletion {
+                    id: p.id,
+                    arrival: p.arrival,
+                    completion: c.completion,
+                    coalesced: d.coalesced(),
+                });
+            }
+        }
+        now = round_end;
+    }
+
+    completions.sort_by_key(|c| c.id);
+    let sim_end = completions
+        .iter()
+        .map(|c| c.completion)
+        .fold(SimTime::ZERO, SimTime::max);
+    Ok(ServerResult {
+        completions,
+        rejected_ids,
+        max_depth: queue.max_depth(),
+        dispatches,
+        coalesced_requests,
+        wraps: sched.wraps(),
+        sim_end,
+        depth_ns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_disk::models::quantum_atlas_10k_ii;
+    use workloads::replay::{synthetic_trace, SyntheticSpec};
+
+    fn trace(count: usize, interarrival_ms: f64, disk: &Disk) -> Vec<TraceRecord> {
+        synthetic_trace(&SyntheticSpec {
+            count,
+            interarrival_ms,
+            io_sectors: 128,
+            read_fraction: 0.6,
+            capacity_lbns: disk.geometry().capacity_lbns(),
+            seed: 17,
+        })
+    }
+
+    #[test]
+    fn every_request_completes_or_is_rejected() {
+        let mut disk = Disk::new(quantum_atlas_10k_ii());
+        let records = trace(500, 8.0, &disk);
+        for kind in [SchedulerKind::Fifo, SchedulerKind::CLook] {
+            let mut d = Disk::new(quantum_atlas_10k_ii());
+            let res = serve(&mut d, &records, &ServerConfig::new(kind)).unwrap();
+            assert_eq!(res.completed() + res.rejected(), 500, "{kind:?}");
+            let mut ids: Vec<u64> = res.completions.iter().map(|c| c.id).collect();
+            ids.extend(&res.rejected_ids);
+            ids.sort_unstable();
+            assert_eq!(ids, (0..500).collect::<Vec<_>>(), "each id exactly once");
+        }
+        let table = ConfidentBoundaries::certain(drive_boundaries(&disk));
+        let cfg = ServerConfig::new(SchedulerKind::Traxtent).with_boundaries(table);
+        let res = serve(&mut disk, &records, &cfg).unwrap();
+        assert_eq!(res.completed() + res.rejected(), 500);
+    }
+
+    #[test]
+    fn overload_rejects_rather_than_queueing_without_bound() {
+        let mut disk = Disk::new(quantum_atlas_10k_ii());
+        // ~13 ms per random track-ish request vs 0.2 ms offered
+        // interarrival: hopeless overload, the bound must bite.
+        let records = trace(2000, 0.2, &disk);
+        let mut cfg = ServerConfig::new(SchedulerKind::Fifo);
+        cfg.queue_limit = 16;
+        let res = serve(&mut disk, &records, &cfg).unwrap();
+        assert!(res.rejected() > 0, "overload produces rejections");
+        assert!(res.max_depth <= 16, "depth bound respected");
+        assert_eq!(res.completed() + res.rejected(), 2000);
+    }
+
+    #[test]
+    fn traxtent_without_boundaries_is_a_typed_error() {
+        let mut disk = Disk::new(quantum_atlas_10k_ii());
+        let records = trace(10, 5.0, &disk);
+        let err = serve(
+            &mut disk,
+            &records,
+            &ServerConfig::new(SchedulerKind::Traxtent),
+        )
+        .unwrap_err();
+        assert_eq!(err, ServerError::MissingBoundaries);
+    }
+
+    #[test]
+    fn malformed_traces_are_typed_errors() {
+        let mut disk = Disk::new(quantum_atlas_10k_ii());
+        let mut records = trace(10, 5.0, &disk);
+        records.swap(3, 4);
+        let r = serve(&mut disk, &records, &ServerConfig::new(SchedulerKind::Fifo));
+        assert!(matches!(r, Err(ServerError::UnsortedArrivals { .. })));
+
+        let mut records = trace(10, 5.0, &disk);
+        records[5].request.lbn = disk.geometry().capacity_lbns();
+        let r = serve(&mut disk, &records, &ServerConfig::new(SchedulerKind::Fifo));
+        assert_eq!(r.unwrap_err(), ServerError::BeyondCapacity { index: 5 });
+    }
+
+    #[test]
+    fn response_time_includes_queueing_delay() {
+        let mut disk = Disk::new(quantum_atlas_10k_ii());
+        // Two same-instant arrivals: the second must wait for the first.
+        let records = vec![
+            TraceRecord {
+                arrival: SimTime::ZERO,
+                request: Request::read(0, 64),
+            },
+            TraceRecord {
+                arrival: SimTime::ZERO,
+                request: Request::read(1_000_000, 64),
+            },
+        ];
+        let mut cfg = ServerConfig::new(SchedulerKind::Fifo);
+        cfg.max_batch = 1;
+        let res = serve(&mut disk, &records, &cfg).unwrap();
+        assert_eq!(res.completed(), 2);
+        let a = res.completions[0];
+        let b = res.completions[1];
+        assert!(b.completion > a.completion);
+        assert!(b.response_ms() > a.response_ms());
+    }
+
+    #[test]
+    fn depth_accounting_is_consistent() {
+        let mut disk = Disk::new(quantum_atlas_10k_ii());
+        let records = trace(800, 2.0, &disk);
+        let res = serve(
+            &mut disk,
+            &records,
+            &ServerConfig::new(SchedulerKind::CLook),
+        )
+        .unwrap();
+        assert!(res.max_depth >= 1);
+        assert!(res.mean_depth() > 0.0);
+        assert!(res.mean_depth() <= res.max_depth as f64);
+        assert!(res.throughput_rps() > 0.0);
+    }
+
+    #[test]
+    fn metrics_export_lands_in_registry() {
+        let mut disk = Disk::new(quantum_atlas_10k_ii());
+        let records = trace(100, 5.0, &disk);
+        let res = serve(
+            &mut disk,
+            &records,
+            &ServerConfig::new(SchedulerKind::CLook),
+        )
+        .unwrap();
+        let reg = Registry::new();
+        res.export_metrics(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("server.completed"), Some(res.completed()));
+        assert_eq!(snap.get("server.max_depth"), Some(res.max_depth as u64));
+    }
+}

@@ -7,10 +7,14 @@
 //!   large-file scan / diff / copy, a Postmark-like small-file transaction
 //!   mix, an SSH-build-like phase mix, and `head*`;
 //! * [`replay`] — timestamped block-trace replay through the batched
-//!   service API, the engine-throughput workload.
+//!   service API, the engine-throughput workload;
+//! * [`arrivals`] — open-loop arrival generators (Poisson, bursty ON/OFF,
+//!   diurnal tenant mixes, concurrent video-style streams) emitting
+//!   [`replay`]-format traces for the storage-server experiments.
 
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod arrivals;
 pub mod microbench;
 pub mod replay;

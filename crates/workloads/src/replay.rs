@@ -28,6 +28,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sim_disk::disk::{Disk, Op, Request};
 use sim_disk::{Completion, SimDur, SimTime};
+use std::error::Error;
+use std::fmt;
 use traxtent::stats;
 
 /// One timestamped request from a trace.
@@ -39,53 +41,106 @@ pub struct TraceRecord {
     pub request: Request,
 }
 
+/// What was wrong with a trace line (see [`ParseError`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// A required field was absent; carries the field name.
+    MissingField(&'static str),
+    /// A field did not parse as its expected type; carries the field name.
+    BadField(&'static str),
+    /// `arrival_ms` was negative, NaN, or infinite.
+    NegativeArrival,
+    /// The op column was neither `R` nor `W`; carries the offending token.
+    BadOp(String),
+    /// `sectors` was zero.
+    ZeroSectors,
+    /// Extra fields after `sectors`.
+    TrailingFields,
+    /// The line's arrival precedes its predecessor's.
+    NonMonotoneArrival,
+}
+
+/// A typed trace-parse failure naming the offending line (1-based).
+///
+/// [`fmt::Display`] renders the same `line N: reason` text the parser has
+/// always produced, so error messages stay stable; callers that need to
+/// react programmatically match on [`ParseError::kind`] instead of
+/// grepping strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub kind: ParseErrorKind,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            ParseErrorKind::MissingField(name) => write!(f, "missing {name}"),
+            ParseErrorKind::BadField("arrival_ms") => write!(f, "arrival_ms is not a number"),
+            ParseErrorKind::BadField(name) => write!(f, "{name} is not an integer"),
+            ParseErrorKind::NegativeArrival => write!(f, "arrival_ms must be non-negative"),
+            ParseErrorKind::BadOp(tok) => write!(f, "op must be R or W, got `{tok}`"),
+            ParseErrorKind::ZeroSectors => write!(f, "sectors must be positive"),
+            ParseErrorKind::TrailingFields => write!(f, "trailing fields"),
+            ParseErrorKind::NonMonotoneArrival => write!(f, "arrivals must be sorted by time"),
+        }
+    }
+}
+
+impl Error for ParseError {}
+
 /// Parses a trace in the module's line format.
 ///
 /// Returns the records in file order. Errors name the offending line
 /// (1-based) and what was wrong with it; an arrival time earlier than its
 /// predecessor's is an error because [`Disk::service_batch_into`] requires
 /// issue times in order.
-pub fn parse_trace(text: &str) -> Result<Vec<TraceRecord>, String> {
+pub fn parse_trace(text: &str) -> Result<Vec<TraceRecord>, ParseError> {
     let mut records = Vec::new();
     let mut last_arrival = SimTime::ZERO;
     for (idx, line) in text.lines().enumerate() {
         let lineno = idx + 1;
+        let err = |kind| ParseError { line: lineno, kind };
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         let mut fields = line.split_whitespace();
-        let mut field = |name: &str| {
-            fields
-                .next()
-                .ok_or_else(|| format!("line {lineno}: missing {name}"))
+        let mut field = |name: &'static str| {
+            fields.next().ok_or(ParseError {
+                line: lineno,
+                kind: ParseErrorKind::MissingField(name),
+            })
         };
         let arrival_ms: f64 = field("arrival_ms")?
             .parse()
-            .map_err(|_| format!("line {lineno}: arrival_ms is not a number"))?;
+            .map_err(|_| err(ParseErrorKind::BadField("arrival_ms")))?;
         if !arrival_ms.is_finite() || arrival_ms < 0.0 {
-            return Err(format!("line {lineno}: arrival_ms must be non-negative"));
+            return Err(err(ParseErrorKind::NegativeArrival));
         }
         let op = match field("op")? {
             "R" | "r" => Op::Read,
             "W" | "w" => Op::Write,
-            other => return Err(format!("line {lineno}: op must be R or W, got `{other}`")),
+            other => return Err(err(ParseErrorKind::BadOp(other.to_string()))),
         };
         let lbn: u64 = field("lbn")?
             .parse()
-            .map_err(|_| format!("line {lineno}: lbn is not an integer"))?;
+            .map_err(|_| err(ParseErrorKind::BadField("lbn")))?;
         let sectors: u64 = field("sectors")?
             .parse()
-            .map_err(|_| format!("line {lineno}: sectors is not an integer"))?;
+            .map_err(|_| err(ParseErrorKind::BadField("sectors")))?;
         if sectors == 0 {
-            return Err(format!("line {lineno}: sectors must be positive"));
+            return Err(err(ParseErrorKind::ZeroSectors));
         }
         if fields.next().is_some() {
-            return Err(format!("line {lineno}: trailing fields"));
+            return Err(err(ParseErrorKind::TrailingFields));
         }
         let arrival = SimTime::ZERO + SimDur::from_millis_f64(arrival_ms);
         if arrival < last_arrival {
-            return Err(format!("line {lineno}: arrivals must be sorted by time"));
+            return Err(err(ParseErrorKind::NonMonotoneArrival));
         }
         last_arrival = arrival;
         records.push(TraceRecord {
@@ -314,9 +369,42 @@ mod tests {
             ("5.0 R 1 1\n2.0 R 1 1", "sorted"),
             ("zz R 1 1", "not a number"),
         ] {
-            let err = parse_trace(text).unwrap_err();
+            let err = parse_trace(text).unwrap_err().to_string();
             assert!(err.contains(needle), "`{text}` -> {err}");
         }
+    }
+
+    #[test]
+    fn parse_errors_are_typed_with_the_offending_line() {
+        // Non-monotone arrivals report the *second* line, the one at fault.
+        let err = parse_trace("# hdr\n5.0 R 1 1\n\n2.0 R 1 1\n").unwrap_err();
+        assert_eq!(err.line, 4);
+        assert_eq!(err.kind, ParseErrorKind::NonMonotoneArrival);
+
+        // Zero-sector requests are their own kind, not a generic bad field.
+        let err = parse_trace("0.0 R 100 0").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert_eq!(err.kind, ParseErrorKind::ZeroSectors);
+
+        // Trailing garbage after a well-formed prefix.
+        let err = parse_trace("0.0 R 100 8\n1.0 W 200 16 junk\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.kind, ParseErrorKind::TrailingFields);
+
+        // The bad op token is carried verbatim.
+        let err = parse_trace("0.0 Q 100 8").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::BadOp("Q".to_string()));
+
+        // Missing and malformed fields name the field.
+        let err = parse_trace("0.0 R").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::MissingField("lbn"));
+        let err = parse_trace("0.0 R ten 8").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::BadField("lbn"));
+        let err = parse_trace("0.0 R 100 eight").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::BadField("sectors"));
+
+        // Equal arrivals are fine; only a step backwards is non-monotone.
+        assert!(parse_trace("3.0 R 1 1\n3.0 R 2 1\n").is_ok());
     }
 
     #[test]
