@@ -355,6 +355,41 @@ impl ConfidentBoundaries {
     pub fn into_table(self) -> TrackBoundaries {
         self.table
     }
+
+    /// Composes a boundary map from consecutive `(length, confidence)`
+    /// units — the primitive the fleet layer uses to publish a
+    /// *volume-wide* boundary map: each member's stripe units (snapped to
+    /// that member's physical tracks) become the "tracks" of the volume's
+    /// logical address space, carrying the confidence of the member track
+    /// they were carved from.
+    ///
+    /// ```
+    /// use traxtent::ConfidentBoundaries;
+    ///
+    /// // Two trusted whole-track units and one low-confidence fallback unit.
+    /// let map = ConfidentBoundaries::from_unit_lengths([
+    ///     (200, 1.0),
+    ///     (150, 1.0),
+    ///     (64, 0.4),
+    /// ])
+    /// .unwrap();
+    /// assert_eq!(map.table().num_tracks(), 3);
+    /// assert_eq!(map.table().track_bounds(210), (200, 350));
+    /// assert!(map.is_confident(1, 0.9));
+    /// assert!(!map.is_confident(2, 0.9));
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BoundariesError`] when the unit list is empty, any
+    /// length is zero, or any confidence falls outside `[0, 1]`.
+    pub fn from_unit_lengths<I: IntoIterator<Item = (u64, f64)>>(
+        units: I,
+    ) -> Result<Self, BoundariesError> {
+        let (lengths, confidence): (Vec<u64>, Vec<f64>) = units.into_iter().unzip();
+        let table = TrackBoundaries::from_track_lengths(lengths)?;
+        Self::new(table, confidence)
+    }
 }
 
 /// Iterator produced by [`TrackBoundaries::split_extent`].

@@ -1,0 +1,243 @@
+//! Background repair: rebuilding a failed member and scrubbing
+//! redundancy.
+//!
+//! Both run as sequential background scans on the simulated clock —
+//! each step's member commands issue when the previous step's finished —
+//! and report progress through the [`traxtent::obs`] registry so the
+//! same observability surface that watches the server watches repair.
+
+use crate::layout::VolumeKind;
+use crate::volume::Volume;
+use crate::FleetError;
+use sim_disk::request::Request;
+use sim_disk::SimTime;
+use traxtent::obs::Registry;
+
+/// What a completed [`Volume::rebuild_member`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebuildReport {
+    /// The member that was rebuilt.
+    pub member: usize,
+    /// Stripe units reconstructed onto it.
+    pub units: u64,
+    /// Sectors written to it.
+    pub sectors: u64,
+    /// When the first reconstruction read was issued.
+    pub started: SimTime,
+    /// When the last rebuild write completed.
+    pub finished: SimTime,
+}
+
+/// What a [`Volume::scrub`] pass verified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Members in the order the scrub prioritized them (most suspect
+    /// first, by fault-layer statistics).
+    pub order: Vec<usize>,
+    /// Sectors whose redundancy was checked.
+    pub checked_sectors: u64,
+    /// Sectors whose mirror copies or parity disagreed.
+    pub mismatches: u64,
+}
+
+/// A member's scrub priority: drives that have been throwing media
+/// errors, growing defects, or surfacing transient faults get verified
+/// first.
+fn suspicion(v: &Volume, m: usize) -> u64 {
+    let s = v.members[m].disk.fault_stats();
+    s.media_errors + 2 * s.grown_defects + 2 * s.grown_defects_unspared + s.transient_surfaced
+}
+
+impl Volume {
+    /// Reconstructs the failed member `i` in place: a sequential
+    /// background scan that, per stripe unit, reads the surviving
+    /// members' columns (timed member commands), recomputes the lost
+    /// contents (XOR for RAID-5, a copy for mirrors), and writes them
+    /// back to member `i`. On return the member is healthy again and its
+    /// store holds bit-exact reconstructed data.
+    ///
+    /// Progress and totals are exported into `reg` as
+    /// `fleet.rebuild.units`, `fleet.rebuild.sectors`,
+    /// `fleet.rebuild.progress_pct`, and `fleet.rebuild.completed`.
+    ///
+    /// Fails with [`FleetError::NotFailed`] if the member is healthy,
+    /// [`FleetError::DegradedPeer`] if any *other* member is down, and
+    /// [`FleetError::Unrecoverable`] on a RAID-0 volume.
+    pub fn rebuild_member(
+        &mut self,
+        i: usize,
+        reg: &Registry,
+        at: SimTime,
+    ) -> Result<RebuildReport, FleetError> {
+        if i >= self.members.len() || !self.layout.kind().redundant() {
+            return Err(FleetError::Unrecoverable { member: i });
+        }
+        if self.members[i].healthy {
+            return Err(FleetError::NotFailed { member: i });
+        }
+        // RAID-5 reconstruction needs every surviving column; a mirror
+        // only needs one healthy copy to read from.
+        if self.layout.kind() == VolumeKind::Raid5 {
+            if let Some(peer) =
+                (0..self.members.len()).find(|&m| m != i && !self.members[m].healthy)
+            {
+                return Err(FleetError::DegradedPeer { member: peer });
+            }
+        }
+
+        let mut t = at;
+        let mut units = 0u64;
+        let mut sectors = 0u64;
+        match self.layout.kind() {
+            VolumeKind::Striped => unreachable!("checked redundant above"),
+            VolumeKind::Mirrored => {
+                let source = (0..self.members.len())
+                    .find(|&m| m != i && self.members[m].healthy)
+                    .ok_or(FleetError::Unrecoverable { member: i })?;
+                let steps: Vec<(u64, u64)> = self
+                    .layout
+                    .units()
+                    .iter()
+                    .map(|u| (u.pstart, u.len))
+                    .collect();
+                let total = steps.len() as u64;
+                for (pstart, len) in steps {
+                    let r = self.members[source]
+                        .issue(Request::read(pstart, len), t)
+                        .map_err(|_| FleetError::Unrecoverable { member: i })?;
+                    let w = self.members[i]
+                        .issue(Request::write(pstart, len), r.completion)
+                        .map_err(|_| FleetError::Unrecoverable { member: i })?;
+                    let mut words = Vec::with_capacity(len as usize);
+                    self.members[source]
+                        .store
+                        .read_into(pstart, len, &mut words);
+                    self.members[i].store.write(pstart, &words);
+                    t = w.completion;
+                    units += 1;
+                    sectors += len;
+                    self.stats.member_cmds += 2;
+                    reg.set_gauge("fleet.rebuild.progress_pct", units * 100 / total);
+                }
+            }
+            VolumeKind::Raid5 => {
+                let rounds = self.layout.rounds().to_vec();
+                let total = rounds.len() as u64;
+                for info in &rounds {
+                    let dst = info.pstarts[i];
+                    let mut words = vec![0u64; info.len as usize];
+                    let mut reads_done = t;
+                    for m in 0..self.members.len() {
+                        if m == i {
+                            continue;
+                        }
+                        let src = info.pstarts[m];
+                        let c = self.members[m]
+                            .issue(Request::read(src, info.len), t)
+                            .map_err(|_| FleetError::Unrecoverable { member: i })?;
+                        reads_done = reads_done.max(c.completion);
+                        for (o, w) in words.iter_mut().enumerate() {
+                            *w ^= self.members[m].store.word(src + o as u64);
+                        }
+                        self.stats.member_cmds += 1;
+                    }
+                    let w = self.members[i]
+                        .issue(Request::write(dst, info.len), reads_done)
+                        .map_err(|_| FleetError::Unrecoverable { member: i })?;
+                    self.members[i].store.write(dst, &words);
+                    t = w.completion;
+                    units += 1;
+                    sectors += info.len;
+                    self.stats.member_cmds += 1;
+                    reg.set_gauge("fleet.rebuild.progress_pct", units * 100 / total);
+                }
+            }
+        }
+        self.members[i].healthy = true;
+        self.stats.reconstructed_sectors += sectors;
+        reg.add("fleet.rebuild.units", units);
+        reg.add("fleet.rebuild.sectors", sectors);
+        reg.add("fleet.rebuild.completed", 1);
+        Ok(RebuildReport {
+            member: i,
+            units,
+            sectors,
+            started: at,
+            finished: t,
+        })
+    }
+
+    /// Verifies the redundancy invariant across the data plane: parity
+    /// equals the XOR of its data columns (RAID-5), every healthy mirror
+    /// copy agrees (RAID-1). Members are prioritized by their fault-layer
+    /// statistics — drives that have been throwing errors get their
+    /// stripes checked first — which is the scheduling signal a
+    /// background scrubber keys on. RAID-0 has nothing to cross-check.
+    ///
+    /// Totals land in `reg` as `fleet.scrub.passes`,
+    /// `fleet.scrub.checked_sectors`, and `fleet.scrub.mismatches`.
+    pub fn scrub(&mut self, reg: &Registry) -> ScrubReport {
+        let mut order: Vec<usize> = (0..self.members.len()).collect();
+        order.sort_by_key(|&m| std::cmp::Reverse(suspicion(self, m)));
+        let mut checked = 0u64;
+        let mut mismatches = 0u64;
+        match self.layout.kind() {
+            VolumeKind::Striped => {}
+            VolumeKind::Mirrored => {
+                // Walk copies most-suspect-first against a healthy
+                // reference copy.
+                if let Some(&reference) = order.iter().rev().find(|&&m| self.members[m].healthy) {
+                    for &m in &order {
+                        if m == reference || !self.members[m].healthy {
+                            continue;
+                        }
+                        for lbn in 0..self.layout.capacity() {
+                            checked += 1;
+                            if self.members[m].store.word(lbn)
+                                != self.members[reference].store.word(lbn)
+                            {
+                                mismatches += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            VolumeKind::Raid5 => {
+                if self.failed_members().is_empty() {
+                    // Rounds whose parity lives on the most suspect
+                    // member are verified first.
+                    let mut rounds: Vec<usize> = (0..self.layout.rounds().len()).collect();
+                    let rank: Vec<usize> = {
+                        let mut rank = vec![0; self.members.len()];
+                        for (pos, &m) in order.iter().enumerate() {
+                            rank[m] = pos;
+                        }
+                        rank
+                    };
+                    rounds.sort_by_key(|&r| rank[self.layout.rounds()[r].parity]);
+                    for r in rounds {
+                        let info = self.layout.rounds()[r].clone();
+                        for o in 0..info.len {
+                            let mut x = 0u64;
+                            for m in 0..self.members.len() {
+                                x ^= self.members[m].store.word(info.pstarts[m] + o);
+                            }
+                            checked += 1;
+                            if x != 0 {
+                                mismatches += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        reg.add("fleet.scrub.passes", 1);
+        reg.add("fleet.scrub.checked_sectors", checked);
+        reg.add("fleet.scrub.mismatches", mismatches);
+        ScrubReport {
+            order,
+            checked_sectors: checked,
+            mismatches,
+        }
+    }
+}

@@ -1,0 +1,694 @@
+//! The volume proper: member drives + data plane + degraded-mode service.
+
+use crate::data::{fill_stores, pattern_word, SectorStore};
+use crate::layout::{Chunk, StripePolicy, VolumeKind, VolumeLayout};
+use crate::FleetError;
+use sim_disk::disk::Disk;
+use sim_disk::request::{Completion, Op, Request};
+use sim_disk::SimTime;
+use traxtent::boundaries::ConfidentBoundaries;
+use traxtent::obs::Registry;
+
+/// How many times a surfaced [`sim_disk::fault::CommandFault`] is
+/// re-issued before the volume gives up on that member for the access
+/// and falls over to redundancy (or reports the data unrecoverable).
+const FAULT_RETRIES: u32 = 4;
+
+/// Builds a member's ground-truth boundary map straight from its drive
+/// geometry, at full confidence — the shortcut for tests and examples
+/// where running dixtrac extraction per member would be noise. Production
+/// paths use [`dixtrac`-style extraction] per member instead.
+///
+/// [`dixtrac`-style extraction]: crate#example
+pub fn member_boundaries(disk: &Disk) -> ConfidentBoundaries {
+    ConfidentBoundaries::certain(server::drive_boundaries(disk))
+}
+
+/// One member drive with its data plane and health flag.
+#[derive(Debug)]
+pub(crate) struct Member {
+    pub(crate) disk: Disk,
+    pub(crate) store: SectorStore,
+    pub(crate) healthy: bool,
+}
+
+impl Member {
+    /// Issues a command clamped to the member's own issue-time floor
+    /// (per-member FCFS), retrying surfaced transient faults.
+    pub(crate) fn issue(&mut self, req: Request, at: SimTime) -> Result<Completion, ()> {
+        for _ in 0..FAULT_RETRIES {
+            let t = at.max(self.disk.last_issue());
+            if let Ok(done) = self.disk.try_service(req, t) {
+                return Ok(done);
+            }
+        }
+        Err(())
+    }
+}
+
+/// Running counters of what the volume has done, exported via
+/// [`Volume::export_metrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VolumeStats {
+    /// Commands issued to member drives.
+    pub member_cmds: u64,
+    /// Logical reads that could not use their home member and were served
+    /// from a mirror copy or parity reconstruction.
+    pub degraded_reads: u64,
+    /// Sectors whose contents were reconstructed from redundancy.
+    pub reconstructed_sectors: u64,
+    /// Logical writes that had to take a degraded path (reconstruct-write
+    /// or data-only write under a failed parity member).
+    pub degraded_writes: u64,
+}
+
+/// The host-visible result of one logical volume access.
+///
+/// Member-level completions are internal; the volume reports when the
+/// whole logical request finished (the latest member completion) and how
+/// much work it fanned out into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VolumeCompletion {
+    /// The logical request serviced.
+    pub request: Request,
+    /// When the host issued it to the volume.
+    pub issue: SimTime,
+    /// When the last member command completed.
+    pub completion: SimTime,
+    /// Member commands the access fanned out into.
+    pub member_cmds: u32,
+    /// True if any part of the access took a degraded path.
+    pub reconstructed: bool,
+}
+
+impl VolumeCompletion {
+    /// Converts to a [`sim_disk::request::Completion`] for consumers that
+    /// speak the single-drive completion shape (the PR 7 server). The
+    /// component breakdown is zeroed: a multi-member access has no single
+    /// seek/rotation decomposition.
+    pub fn into_completion(self) -> Completion {
+        Completion {
+            request: self.request,
+            issue: self.issue,
+            service_start: self.issue,
+            media_end: self.completion,
+            completion: self.completion,
+            cache_hit: false,
+            breakdown: Default::default(),
+        }
+    }
+}
+
+/// A multi-disk volume: heterogeneous member drives behind one logical
+/// LBN space, with stripe units snapped to member track boundaries.
+#[derive(Debug)]
+pub struct Volume {
+    pub(crate) layout: VolumeLayout,
+    pub(crate) members: Vec<Member>,
+    pub(crate) stats: VolumeStats,
+    fill_seed: u64,
+    write_seq: u64,
+}
+
+impl Volume {
+    fn build(
+        kind: VolumeKind,
+        members: Vec<(Disk, ConfidentBoundaries)>,
+        policy: StripePolicy,
+    ) -> Result<Self, FleetError> {
+        for (i, (disk, map)) in members.iter().enumerate() {
+            if map.table().capacity() != disk.capacity_lbns() {
+                return Err(FleetError::MemberMismatch {
+                    member: i,
+                    boundaries: map.table().capacity(),
+                    disk: disk.capacity_lbns(),
+                });
+            }
+        }
+        let maps: Vec<ConfidentBoundaries> = members.iter().map(|(_, m)| m.clone()).collect();
+        let layout = VolumeLayout::new(kind, &maps, &policy)?;
+        let members = members
+            .into_iter()
+            .map(|(disk, _)| Member {
+                store: SectorStore::new(disk.capacity_lbns()),
+                disk,
+                healthy: true,
+            })
+            .collect();
+        Ok(Volume {
+            layout,
+            members,
+            stats: VolumeStats::default(),
+            fill_seed: 0,
+            write_seq: 0,
+        })
+    }
+
+    /// A RAID-0 volume: stripe units round-robin across `members`, no
+    /// redundancy. Needs at least two members.
+    ///
+    /// ```
+    /// use fleet::{member_boundaries, StripePolicy, Volume};
+    /// use sim_disk::disk::Disk;
+    /// use sim_disk::models::small_test_disk;
+    ///
+    /// let members: Vec<_> = (0..2)
+    ///     .map(|_| {
+    ///         let d = Disk::new(small_test_disk());
+    ///         let b = member_boundaries(&d);
+    ///         (d, b)
+    ///     })
+    ///     .collect();
+    /// let v = Volume::striped(members, StripePolicy::aligned()).unwrap();
+    /// // RAID-0 exposes every member sector as logical space.
+    /// assert_eq!(v.capacity(), 2 * 84_000);
+    /// ```
+    pub fn striped(
+        members: Vec<(Disk, ConfidentBoundaries)>,
+        policy: StripePolicy,
+    ) -> Result<Self, FleetError> {
+        Self::build(VolumeKind::Striped, members, policy)
+    }
+
+    /// A RAID-1 volume: every member holds a full copy; reads rotate
+    /// across healthy members, writes go to all of them. Needs at least
+    /// two members.
+    ///
+    /// ```
+    /// use fleet::{member_boundaries, StripePolicy, Volume};
+    /// use sim_disk::disk::Disk;
+    /// use sim_disk::models::small_test_disk;
+    ///
+    /// let members: Vec<_> = (0..2)
+    ///     .map(|_| {
+    ///         let d = Disk::new(small_test_disk());
+    ///         let b = member_boundaries(&d);
+    ///         (d, b)
+    ///     })
+    ///     .collect();
+    /// let v = Volume::mirrored(members, StripePolicy::aligned()).unwrap();
+    /// // A mirror exposes one copy's worth of logical space.
+    /// assert_eq!(v.capacity(), 84_000);
+    /// ```
+    pub fn mirrored(
+        members: Vec<(Disk, ConfidentBoundaries)>,
+        policy: StripePolicy,
+    ) -> Result<Self, FleetError> {
+        Self::build(VolumeKind::Mirrored, members, policy)
+    }
+
+    /// A RAID-5 volume: per stripe round, one member's unit holds the XOR
+    /// parity of the others, rotating through the members. Needs at least
+    /// three members.
+    ///
+    /// ```
+    /// use fleet::{member_boundaries, StripePolicy, Volume};
+    /// use sim_disk::disk::Disk;
+    /// use sim_disk::models::small_test_disk;
+    ///
+    /// let members: Vec<_> = (0..3)
+    ///     .map(|_| {
+    ///         let d = Disk::new(small_test_disk());
+    ///         let b = member_boundaries(&d);
+    ///         (d, b)
+    ///     })
+    ///     .collect();
+    /// let v = Volume::raid5(members, StripePolicy::aligned()).unwrap();
+    /// // One member's worth of sectors goes to parity.
+    /// assert_eq!(v.capacity(), 2 * 84_000);
+    /// ```
+    pub fn raid5(
+        members: Vec<(Disk, ConfidentBoundaries)>,
+        policy: StripePolicy,
+    ) -> Result<Self, FleetError> {
+        Self::build(VolumeKind::Raid5, members, policy)
+    }
+
+    /// The logical↔physical map.
+    pub fn layout(&self) -> &VolumeLayout {
+        &self.layout
+    }
+
+    /// Logical capacity in sectors.
+    pub fn capacity(&self) -> u64 {
+        self.layout.capacity()
+    }
+
+    /// The counters accumulated so far.
+    pub fn stats(&self) -> &VolumeStats {
+        &self.stats
+    }
+
+    /// Per-member health flags.
+    pub fn member_health(&self) -> Vec<bool> {
+        self.members.iter().map(|m| m.healthy).collect()
+    }
+
+    /// Indices of failed members.
+    pub fn failed_members(&self) -> Vec<usize> {
+        (0..self.members.len())
+            .filter(|&i| !self.members[i].healthy)
+            .collect()
+    }
+
+    /// True if any member is failed.
+    pub fn is_degraded(&self) -> bool {
+        self.members.iter().any(|m| !m.healthy)
+    }
+
+    /// True if every logical LBN is still readable given current member
+    /// health: all members healthy for RAID-0, at least one for a
+    /// mirror, at most one failed for RAID-5.
+    pub fn can_serve(&self) -> bool {
+        let failed = self.failed_members().len();
+        match self.layout.kind() {
+            VolumeKind::Striped => failed == 0,
+            VolumeKind::Mirrored => failed < self.members.len(),
+            VolumeKind::Raid5 => failed <= 1,
+        }
+    }
+
+    /// The volume-wide boundary map (see
+    /// [`VolumeLayout::logical_boundaries`]).
+    pub fn logical_boundaries(&self) -> ConfidentBoundaries {
+        self.layout.logical_boundaries()
+    }
+
+    /// Fills the logical space with the canonical [`pattern_word`]
+    /// content and establishes mirror/parity redundancy. Data-plane only
+    /// — a format costs no simulated time.
+    pub fn format(&mut self, seed: u64) {
+        self.fill_seed = seed;
+        let mut stores: Vec<SectorStore> = self
+            .members
+            .iter()
+            .map(|m| SectorStore::new(m.disk.capacity_lbns()))
+            .collect();
+        fill_stores(&self.layout, &mut stores, seed);
+        for (m, store) in self.members.iter_mut().zip(stores) {
+            m.store = store;
+        }
+    }
+
+    /// The seed the volume was last [`Volume::format`]ted with.
+    pub fn fill_seed(&self) -> u64 {
+        self.fill_seed
+    }
+
+    /// Marks member `i` failed and destroys its contents, so that any
+    /// data later "recovered" from it can only come from real
+    /// reconstruction. Idempotent.
+    pub fn fail_member(&mut self, i: usize) -> Result<(), FleetError> {
+        if i >= self.members.len() {
+            return Err(FleetError::Unrecoverable { member: i });
+        }
+        if self.members[i].healthy {
+            self.members[i].healthy = false;
+            self.members[i].store.scramble(i as u64);
+        }
+        Ok(())
+    }
+
+    fn check_range(&self, lbn: u64, len: u64) -> Result<(), FleetError> {
+        if len == 0 || lbn + len > self.layout.capacity() {
+            return Err(FleetError::OutOfRange {
+                lbn,
+                len,
+                capacity: self.layout.capacity(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Reconstructs chunk contents + completion time for a RAID-5 chunk
+    /// whose owner cannot serve: timed reads of every surviving member's
+    /// column, XOR of their stored words.
+    fn raid5_reconstruct_read(
+        &mut self,
+        chunk: &Chunk,
+        at: SimTime,
+        data: &mut Vec<u64>,
+    ) -> Result<(SimTime, u32), FleetError> {
+        let info = self.layout.rounds()[chunk.round].clone();
+        let off = chunk.pstart - info.pstarts[chunk.member];
+        let mut done = at;
+        let mut cmds = 0;
+        let base = data.len();
+        data.resize(base + chunk.len as usize, 0);
+        for m in 0..self.members.len() {
+            if m == chunk.member {
+                continue;
+            }
+            if !self.members[m].healthy {
+                return Err(FleetError::Unrecoverable {
+                    member: chunk.member,
+                });
+            }
+            let pstart = info.pstarts[m] + off;
+            let req = Request::read(pstart, chunk.len);
+            let c = self.members[m]
+                .issue(req, at)
+                .map_err(|_| FleetError::Unrecoverable {
+                    member: chunk.member,
+                })?;
+            cmds += 1;
+            done = done.max(c.completion);
+            for o in 0..chunk.len as usize {
+                data[base + o] ^= self.members[m].store.word(pstart + o as u64);
+            }
+        }
+        self.stats.member_cmds += cmds as u64;
+        self.stats.degraded_reads += 1;
+        self.stats.reconstructed_sectors += chunk.len;
+        Ok((done, cmds))
+    }
+
+    /// Reads `len` sectors at logical `lbn`, issued at `at`. Returns the
+    /// host-visible completion and the data words, reconstructing from
+    /// mirror or parity wherever a member is failed or persistently
+    /// faulting.
+    pub fn read(
+        &mut self,
+        lbn: u64,
+        len: u64,
+        at: SimTime,
+    ) -> Result<(VolumeCompletion, Vec<u64>), FleetError> {
+        self.check_range(lbn, len)?;
+        let chunks = self.layout.split(lbn, len)?;
+        let mut done = at;
+        let mut cmds = 0u32;
+        let mut reconstructed = false;
+        let mut data = Vec::with_capacity(len as usize);
+        for chunk in &chunks {
+            match self.layout.kind() {
+                VolumeKind::Striped => {
+                    let m = chunk.member;
+                    if !self.members[m].healthy {
+                        return Err(FleetError::Unrecoverable { member: m });
+                    }
+                    let req = Request::read(chunk.pstart, chunk.len);
+                    let c = self.members[m]
+                        .issue(req, at)
+                        .map_err(|_| FleetError::Unrecoverable { member: m })?;
+                    self.stats.member_cmds += 1;
+                    cmds += 1;
+                    done = done.max(c.completion);
+                    self.members[m]
+                        .store
+                        .read_into(chunk.pstart, chunk.len, &mut data);
+                }
+                VolumeKind::Mirrored => {
+                    let n = self.members.len();
+                    let mut served = false;
+                    for k in 0..n {
+                        let m = (chunk.member + k) % n;
+                        if !self.members[m].healthy {
+                            continue;
+                        }
+                        let req = Request::read(chunk.pstart, chunk.len);
+                        if let Ok(c) = self.members[m].issue(req, at) {
+                            self.stats.member_cmds += 1;
+                            cmds += 1;
+                            done = done.max(c.completion);
+                            self.members[m]
+                                .store
+                                .read_into(chunk.pstart, chunk.len, &mut data);
+                            if k > 0 {
+                                self.stats.degraded_reads += 1;
+                                self.stats.reconstructed_sectors += chunk.len;
+                                reconstructed = true;
+                            }
+                            served = true;
+                            break;
+                        }
+                    }
+                    if !served {
+                        return Err(FleetError::Unrecoverable {
+                            member: chunk.member,
+                        });
+                    }
+                }
+                VolumeKind::Raid5 => {
+                    let m = chunk.member;
+                    let healthy_ok = if self.members[m].healthy {
+                        let req = Request::read(chunk.pstart, chunk.len);
+                        match self.members[m].issue(req, at) {
+                            Ok(c) => {
+                                self.stats.member_cmds += 1;
+                                cmds += 1;
+                                done = done.max(c.completion);
+                                self.members[m]
+                                    .store
+                                    .read_into(chunk.pstart, chunk.len, &mut data);
+                                true
+                            }
+                            Err(()) => false,
+                        }
+                    } else {
+                        false
+                    };
+                    if !healthy_ok {
+                        let (t, c) = self.raid5_reconstruct_read(chunk, at, &mut data)?;
+                        done = done.max(t);
+                        cmds += c;
+                        reconstructed = true;
+                    }
+                }
+            }
+        }
+        Ok((
+            VolumeCompletion {
+                request: Request::read(lbn, len),
+                issue: at,
+                completion: done,
+                member_cmds: cmds,
+                reconstructed,
+            },
+            data,
+        ))
+    }
+
+    /// Writes `data` at logical `lbn`, issued at `at`, maintaining the
+    /// redundancy invariant: mirrors write every healthy copy; healthy
+    /// RAID-5 does the classic read-modify-write of data + parity;
+    /// degraded RAID-5 reconstruct-writes through parity.
+    pub fn write(
+        &mut self,
+        lbn: u64,
+        data: &[u64],
+        at: SimTime,
+    ) -> Result<VolumeCompletion, FleetError> {
+        let len = data.len() as u64;
+        self.check_range(lbn, len)?;
+        let chunks = self.layout.split(lbn, len)?;
+        let mut done = at;
+        let mut cmds = 0u32;
+        let mut reconstructed = false;
+        for chunk in &chunks {
+            let words =
+                &data[(chunk.lstart - lbn) as usize..(chunk.lstart - lbn + chunk.len) as usize];
+            let (t, c, degraded) = self.write_chunk(chunk, words, at)?;
+            done = done.max(t);
+            cmds += c;
+            reconstructed |= degraded;
+        }
+        Ok(VolumeCompletion {
+            request: Request::write(lbn, len),
+            issue: at,
+            completion: done,
+            member_cmds: cmds,
+            reconstructed,
+        })
+    }
+
+    fn write_chunk(
+        &mut self,
+        chunk: &Chunk,
+        words: &[u64],
+        at: SimTime,
+    ) -> Result<(SimTime, u32, bool), FleetError> {
+        match self.layout.kind() {
+            VolumeKind::Striped => {
+                let m = chunk.member;
+                if !self.members[m].healthy {
+                    return Err(FleetError::Unrecoverable { member: m });
+                }
+                let req = Request::write(chunk.pstart, chunk.len);
+                let c = self.members[m]
+                    .issue(req, at)
+                    .map_err(|_| FleetError::Unrecoverable { member: m })?;
+                self.stats.member_cmds += 1;
+                self.members[m].store.write(chunk.pstart, words);
+                Ok((c.completion, 1, false))
+            }
+            VolumeKind::Mirrored => {
+                let mut done = at;
+                let mut cmds = 0;
+                for m in 0..self.members.len() {
+                    if !self.members[m].healthy {
+                        continue;
+                    }
+                    let req = Request::write(chunk.pstart, chunk.len);
+                    let c = self.members[m]
+                        .issue(req, at)
+                        .map_err(|_| FleetError::Unrecoverable { member: m })?;
+                    self.stats.member_cmds += 1;
+                    cmds += 1;
+                    done = done.max(c.completion);
+                    self.members[m].store.write(chunk.pstart, words);
+                }
+                if cmds == 0 {
+                    return Err(FleetError::Unrecoverable {
+                        member: chunk.member,
+                    });
+                }
+                Ok((done, cmds, self.is_degraded()))
+            }
+            VolumeKind::Raid5 => self.raid5_write_chunk(chunk, words, at),
+        }
+    }
+
+    fn raid5_write_chunk(
+        &mut self,
+        chunk: &Chunk,
+        words: &[u64],
+        at: SimTime,
+    ) -> Result<(SimTime, u32, bool), FleetError> {
+        let info = self.layout.rounds()[chunk.round].clone();
+        let owner = chunk.member;
+        let parity = info.parity;
+        let off = chunk.pstart - info.pstarts[owner];
+        let ppstart = info.pstarts[parity] + off;
+        let owner_ok = self.members[owner].healthy;
+        let parity_ok = self.members[parity].healthy;
+        match (owner_ok, parity_ok) {
+            (true, true) => {
+                // Read-modify-write: read old data and old parity, then
+                // write both with the XOR-updated parity.
+                let r1 = self.members[owner]
+                    .issue(Request::read(chunk.pstart, chunk.len), at)
+                    .map_err(|_| FleetError::Unrecoverable { member: owner })?;
+                let r2 = self.members[parity]
+                    .issue(Request::read(ppstart, chunk.len), at)
+                    .map_err(|_| FleetError::Unrecoverable { member: parity })?;
+                let reads_done = r1.completion.max(r2.completion);
+                let mut new_parity = Vec::with_capacity(words.len());
+                for (o, &w) in words.iter().enumerate() {
+                    let old = self.members[owner].store.word(chunk.pstart + o as u64);
+                    let oldp = self.members[parity].store.word(ppstart + o as u64);
+                    new_parity.push(oldp ^ old ^ w);
+                }
+                let w1 = self.members[owner]
+                    .issue(Request::write(chunk.pstart, chunk.len), reads_done)
+                    .map_err(|_| FleetError::Unrecoverable { member: owner })?;
+                let w2 = self.members[parity]
+                    .issue(Request::write(ppstart, chunk.len), reads_done)
+                    .map_err(|_| FleetError::Unrecoverable { member: parity })?;
+                self.members[owner].store.write(chunk.pstart, words);
+                self.members[parity].store.write(ppstart, &new_parity);
+                self.stats.member_cmds += 4;
+                Ok((w1.completion.max(w2.completion), 4, false))
+            }
+            (false, true) => {
+                // Reconstruct-write: the new parity is the XOR of the new
+                // data with every *surviving* data column; the dead
+                // member's platters stay untouched.
+                let mut new_parity = words.to_vec();
+                let mut reads_done = at;
+                let mut cmds = 0;
+                for m in 0..self.members.len() {
+                    if m == owner || m == parity {
+                        continue;
+                    }
+                    if !self.members[m].healthy {
+                        return Err(FleetError::Unrecoverable { member: owner });
+                    }
+                    let pstart = info.pstarts[m] + off;
+                    let c = self.members[m]
+                        .issue(Request::read(pstart, chunk.len), at)
+                        .map_err(|_| FleetError::Unrecoverable { member: owner })?;
+                    cmds += 1;
+                    reads_done = reads_done.max(c.completion);
+                    for (o, p) in new_parity.iter_mut().enumerate() {
+                        *p ^= self.members[m].store.word(pstart + o as u64);
+                    }
+                }
+                let w = self.members[parity]
+                    .issue(Request::write(ppstart, chunk.len), reads_done)
+                    .map_err(|_| FleetError::Unrecoverable { member: parity })?;
+                cmds += 1;
+                self.members[parity].store.write(ppstart, &new_parity);
+                self.stats.member_cmds += cmds as u64;
+                self.stats.degraded_writes += 1;
+                Ok((w.completion, cmds, true))
+            }
+            (true, false) => {
+                // Parity member is dead: write the data, skip parity.
+                let c = self.members[owner]
+                    .issue(Request::write(chunk.pstart, chunk.len), at)
+                    .map_err(|_| FleetError::Unrecoverable { member: owner })?;
+                self.members[owner].store.write(chunk.pstart, words);
+                self.stats.member_cmds += 1;
+                self.stats.degraded_writes += 1;
+                Ok((c.completion, 1, true))
+            }
+            (false, false) => Err(FleetError::Unrecoverable { member: owner }),
+        }
+    }
+
+    /// Services one logical request as the server sees it: reads return
+    /// timing only (contents are checked elsewhere), writes synthesize
+    /// deterministic payloads from an internal sequence number.
+    pub fn service(&mut self, req: Request, at: SimTime) -> Result<VolumeCompletion, FleetError> {
+        match req.op {
+            Op::Read => self.read(req.lbn, req.len, at).map(|(c, _)| c),
+            Op::Write => {
+                self.write_seq += 1;
+                let salt = self.fill_seed ^ self.write_seq.rotate_left(17);
+                let words: Vec<u64> = (0..req.len)
+                    .map(|o| pattern_word(salt, req.lbn + o))
+                    .collect();
+                self.write(req.lbn, &words, at)
+            }
+        }
+    }
+
+    /// Exports the volume's counters plus each member's fault-layer
+    /// statistics into `reg` under `fleet.*`.
+    pub fn export_metrics(&self, reg: &Registry) {
+        reg.add("fleet.members", self.members.len() as u64);
+        reg.add("fleet.failed_members", self.failed_members().len() as u64);
+        reg.add("fleet.member_cmds", self.stats.member_cmds);
+        reg.add("fleet.degraded_reads", self.stats.degraded_reads);
+        reg.add("fleet.degraded_writes", self.stats.degraded_writes);
+        reg.add(
+            "fleet.reconstructed_sectors",
+            self.stats.reconstructed_sectors,
+        );
+        for (i, m) in self.members.iter().enumerate() {
+            for (name, value) in m.disk.fault_stats().pairs() {
+                reg.add(&format!("fleet.m{i}.{name}"), value);
+            }
+        }
+    }
+}
+
+impl server::Backend for Volume {
+    fn capacity_lbns(&self) -> u64 {
+        self.layout.capacity()
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the volume cannot serve a request — a failed RAID-0
+    /// member or a double failure. Callers gate degraded service on
+    /// [`Volume::can_serve`].
+    fn service_batch_into(&mut self, batch: &[(Request, SimTime)], out: &mut Vec<Completion>) {
+        for &(req, at) in batch {
+            let done = self
+                .service(req, at)
+                .unwrap_or_else(|e| panic!("volume cannot serve {req:?}: {e}"));
+            out.push(done.into_completion());
+        }
+    }
+}

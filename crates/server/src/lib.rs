@@ -13,9 +13,10 @@
 //!   traxtent-aware batcher that coalesces queued requests into
 //!   track-aligned commands on trusted tracks (degrading to C-LOOK where
 //!   boundary confidence is low);
-//! * the [`serve`] loop itself, which drives
-//!   [`Disk::service_batch_into`] on simulated time and reports response
-//!   latency percentiles, queue depths, rejections, and throughput.
+//! * the [`serve`] loop itself, which drives any [`Backend`] — a bare
+//!   [`Disk`] or a multi-disk `fleet` volume — on simulated time and
+//!   reports response latency percentiles, queue depths, rejections,
+//!   and throughput.
 //!
 //! Determinism: the loop advances a single simulated clock; given the
 //! same trace, config, and drive, the result is bit-identical on any
@@ -64,6 +65,35 @@ use std::fmt;
 use traxtent::obs::Registry;
 use traxtent::{stats, ConfidentBoundaries, TrackBoundaries};
 use workloads::replay::TraceRecord;
+
+/// A block service the open-loop server can drive: a single simulated
+/// drive, or any composition of drives (a striped/mirrored/RAID volume)
+/// that presents one logical LBN space.
+///
+/// The contract mirrors [`Disk::service_batch_into`]: commands must be
+/// accepted in non-decreasing issue order, each producing exactly one
+/// [`Completion`] whose `completion` instant is on the same simulated
+/// clock the issue times use. Implementations must be deterministic —
+/// the server's latency percentiles are compared bit-for-bit across
+/// hosts and thread counts.
+pub trait Backend {
+    /// Total addressable LBNs of the logical space.
+    fn capacity_lbns(&self) -> u64;
+
+    /// Services a batch of commands, appending one [`Completion`] per
+    /// request to `out` in issue order.
+    fn service_batch_into(&mut self, batch: &[(Request, SimTime)], out: &mut Vec<Completion>);
+}
+
+impl Backend for Disk {
+    fn capacity_lbns(&self) -> u64 {
+        Disk::capacity_lbns(self)
+    }
+
+    fn service_batch_into(&mut self, batch: &[(Request, SimTime)], out: &mut Vec<Completion>) {
+        Disk::service_batch_into(self, batch, out);
+    }
+}
 
 /// Server configuration: queue bound, dispatch policy, batch width.
 #[derive(Debug, Clone)]
@@ -281,12 +311,15 @@ pub fn drive_boundaries(disk: &Disk) -> TrackBoundaries {
 ///
 /// Client response time is `completion − arrival` and therefore includes
 /// queueing delay, not just drive service time.
-pub fn serve(
-    disk: &mut Disk,
+///
+/// The backend is any [`Backend`] — a bare [`Disk`] or a multi-disk
+/// volume serving one logical address space.
+pub fn serve<B: Backend + ?Sized>(
+    disk: &mut B,
     records: &[TraceRecord],
     cfg: &ServerConfig,
 ) -> Result<ServerResult, ServerError> {
-    let capacity = disk.geometry().capacity_lbns();
+    let capacity = disk.capacity_lbns();
     for (i, r) in records.iter().enumerate() {
         if i > 0 && r.arrival < records[i - 1].arrival {
             return Err(ServerError::UnsortedArrivals { index: i });

@@ -161,6 +161,21 @@ impl Disk {
         &self.config
     }
 
+    /// Total addressable LBNs — shorthand for
+    /// `geometry().capacity_lbns()`, handy when a drive is one member
+    /// handle among many in a multi-disk volume.
+    pub fn capacity_lbns(&self) -> u64 {
+        self.config.geometry.capacity_lbns()
+    }
+
+    /// The issue instant of the most recently issued command (`SimTime::ZERO`
+    /// for a fresh drive). Commands must be issued at or after this instant;
+    /// volume layers that fan one logical request into several member
+    /// commands use it to clamp per-member issue times.
+    pub fn last_issue(&self) -> SimTime {
+        self.last_issue
+    }
+
     /// The spindle.
     pub fn spindle(&self) -> Spindle {
         self.config.spindle
