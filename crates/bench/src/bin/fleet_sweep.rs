@@ -41,12 +41,15 @@
 use dixtrac::extract_auto;
 use fleet::{pattern_word, StripePolicy, Volume, VolumeKind, VolumeLayout};
 use scsi::ScsiDisk;
-use server::{serve, SchedulerKind, ServerConfig};
+use server::{serve, DiskSpanBridge, SchedulerKind, ServerConfig, TimelineConfig};
 use sim_disk::defects::{DefectPolicy, SpareScheme};
 use sim_disk::disk::Disk;
 use sim_disk::models;
+use sim_disk::trace::{Fanout, SharedSink, Tracer};
 use sim_disk::SimTime;
+use std::sync::{Arc, Mutex};
 use traxtent::boundaries::ConfidentBoundaries;
+use traxtent::obs::span::{self, Span, SpanRecorder};
 use workloads::arrivals::{poisson_trace, PoissonSpec};
 
 /// The volume shapes on the sweep's outer axis.
@@ -74,12 +77,31 @@ const FAILED: usize = 1;
 const VERIFY_EXTENTS: u64 = 32;
 const VERIFY_SECTORS: u64 = 64;
 
+/// Sampler window for `--timeline` cells (the fleet runs are shorter
+/// than the server sweep's, so the windows are finer).
+const TIMELINE_WINDOW_MS: f64 = 500.0;
+
+/// SLO monitored on `--timeline` cells.
+const SLO_THRESHOLD_MS: f64 = 60.0;
+const SLO_BREACH_FRACTION: f64 = 0.05;
+
 struct CellResult {
     line: String,
     served: bool,
     p99_ms: f64,
     verified: u64,
     scrub_mismatches: u64,
+    timeline: Option<server::Timeline>,
+    slo: Option<server::SloSummary>,
+    spans: Vec<Span>,
+}
+
+/// Per-cell observability requests (RAID-5 aligned cells only): a
+/// windowed timeline (`--timeline`) and a causal span tree (`--trace`).
+#[derive(Clone, Copy)]
+struct ObsOpts {
+    timeline: bool,
+    spans: bool,
 }
 
 fn fail_label(degraded: bool) -> &'static str {
@@ -97,16 +119,27 @@ fn build_members(
     probe: &traxtent_bench::Probe,
     n: usize,
     seed: u64,
+    rec: Option<&SpanRecorder>,
 ) -> Vec<(Disk, ConfidentBoundaries)> {
     (0..n)
         .map(|m| {
-            let cfg = probe.wrap(models::with_factory_defects(
+            let mut cfg = probe.wrap(models::with_factory_defects(
                 models::small_test_disk(),
                 SpareScheme::SectorsPerCylinder(8),
                 DefectPolicy::Slip,
                 400 + 250 * m as u32,
                 seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(m as u64 + 1),
             ));
+            // The span bridge rides alongside any --trace/--metrics sink;
+            // it only records while the volume holds a request context, so
+            // the dixtrac extraction below stays invisible to it.
+            if let Some(rec) = rec {
+                let bridge: SharedSink = Arc::new(Mutex::new(DiskSpanBridge::new(rec.clone())));
+                cfg.tracer = Some(match cfg.tracer.take() {
+                    Some(t) => Tracer::from_sink(Fanout::new(vec![t.sink(), bridge])),
+                    None => Tracer::new(bridge),
+                });
+            }
             let mut scsi = ScsiDisk::new(Disk::new(cfg.clone()));
             let map = extract_auto(&mut scsi, &dixtrac::GeneralConfig::default())
                 .expect("the test drive answers diagnostics")
@@ -126,8 +159,17 @@ fn run_cell(
     degraded: bool,
     requests: usize,
     seed: u64,
+    cell_index: usize,
+    obs: ObsOpts,
 ) -> CellResult {
-    let members = build_members(probe, n, seed);
+    // A per-cell recorder with a per-cell salt, so merged span ids never
+    // collide across cells and the export is identical at any --threads.
+    let rec = obs.spans.then(|| {
+        let rec = SpanRecorder::new();
+        rec.set_salt(span::derive_id(seed, 0xF1EE, cell_index as u64, 0));
+        rec
+    });
+    let members = build_members(probe, n, seed, rec.as_ref());
     let policy = if aligned {
         StripePolicy::aligned()
     } else {
@@ -149,6 +191,9 @@ fn run_cell(
     .expect("members validated by construction");
     let fill_seed = seed ^ 0xf1ee7;
     volume.format(fill_seed);
+    if let Some(rec) = &rec {
+        volume.attach_spans(rec.clone());
+    }
     if degraded {
         volume.fail_member(FAILED).expect("member exists");
     }
@@ -177,6 +222,9 @@ fn run_cell(
             p99_ms: 0.0,
             verified: 0,
             scrub_mismatches: 0,
+            timeline: None,
+            slo: None,
+            spans: Vec::new(),
         };
     }
 
@@ -203,9 +251,20 @@ fn run_cell(
     }
     trace.retain(|r| r.request.end() <= min_cap);
 
-    let server_cfg = ServerConfig::new(SchedulerKind::CLook);
+    let mut server_cfg = ServerConfig::new(SchedulerKind::CLook);
+    if obs.timeline {
+        server_cfg = server_cfg.with_timeline(
+            TimelineConfig::new(TIMELINE_WINDOW_MS).with_slo(SLO_THRESHOLD_MS, SLO_BREACH_FRACTION),
+        );
+    }
+    if let Some(rec) = &rec {
+        server_cfg = server_cfg.with_spans(rec.clone());
+    }
     let res = serve(&mut volume, &trace, &server_cfg).expect("generated traces are valid");
     res.export_metrics(reg);
+    // Capture the spans now: the verification reads and rebuild below run
+    // outside the served workload and stay out of the export.
+    let spans = rec.map(|r| r.take_sorted()).unwrap_or_default();
     let stats = *volume.stats();
 
     // Data verification: evenly spaced extents read back against the
@@ -269,14 +328,19 @@ fn run_cell(
         p99_ms: res.percentile_ms(0.99),
         verified,
         scrub_mismatches,
+        timeline: res.timeline,
+        slo: res.slo,
+        spans,
     }
 }
 
 fn main() {
-    let cli = traxtent_bench::Cli::parse();
+    let cli = traxtent_bench::Cli::parse_with(&["--timeline"]);
     let probe = cli.probe();
     let reg = traxtent::obs::Registry::new();
     let mut rec = cli.recorder("fleet_sweep");
+    let timeline = cli.has("--timeline");
+    let tracing = cli.trace.is_some();
     let requests = if cli.quick { 900 } else { 3600 };
 
     traxtent_bench::header(
@@ -312,10 +376,19 @@ fn main() {
                 .collect::<Vec<_>>()
         })
         .collect();
+    // RAID-5 aligned cells carry the extra observability: their service
+    // path exercises every span kind (fan-out, parity, reconstruction).
     let results = cli
         .executor()
-        .run(cells.clone(), |_, (kind, n, aligned, degraded)| {
-            run_cell(&probe, &reg, kind, n, aligned, degraded, requests, cli.seed)
+        .run(cells.clone(), |i, (kind, n, aligned, degraded)| {
+            let interesting = kind == VolumeKind::Raid5 && aligned;
+            let obs = ObsOpts {
+                timeline: timeline && interesting,
+                spans: tracing && interesting,
+            };
+            run_cell(
+                &probe, &reg, kind, n, aligned, degraded, requests, cli.seed, i, obs,
+            )
         });
 
     let mut degraded_verified = 0;
@@ -367,6 +440,49 @@ fn main() {
     );
     rec.headline("degraded_verified_extents", degraded_verified as f64);
     rec.headline("degraded_scrub_mismatches", degraded_mismatches as f64);
+
+    if timeline {
+        // Windowed telemetry for the instrumented cells; the rows ride in
+        // this figure's own manifest (the timeline section serializes only
+        // when present, so runs without --timeline are unchanged).
+        for ((kind, n, aligned, degraded), r) in cells.iter().zip(&results) {
+            let Some(t) = &r.timeline else { continue };
+            let tag = format!(
+                "{}x{n}_{}_{}",
+                kind.label(),
+                if *aligned { "aligned" } else { "fixed" },
+                fail_label(*degraded)
+            );
+            println!(
+                "## timeline {tag} (window {TIMELINE_WINDOW_MS:.0} ms, {} buckets)",
+                t.buckets.len()
+            );
+            print!("{t}");
+            if let Some(slo) = &r.slo {
+                println!("{slo}");
+            }
+            rec.timeline(&tag, t.rows());
+        }
+    }
+
+    if tracing {
+        // Merge the per-cell span trees (distinct per-cell salts keep ids
+        // unique) and export next to the --trace file. Status goes to
+        // stderr so stdout stays byte-identical with an untraced run.
+        let mut spans: Vec<Span> = results.iter().flat_map(|r| r.spans.clone()).collect();
+        spans.sort_by_key(|s| (s.start_ns, s.id));
+        let path = cli.trace.as_deref().expect("tracing implies --trace");
+        let base = path.strip_suffix(".jsonl").unwrap_or(path);
+        let jsonl: String = spans.iter().map(|s| s.to_json() + "\n").collect();
+        std::fs::write(format!("{base}.spans.jsonl"), jsonl).expect("span export writable");
+        std::fs::write(format!("{base}.chrome.json"), span::chrome_trace(&spans))
+            .expect("chrome export writable");
+        eprintln!(
+            "fleet_sweep: {} spans -> {base}.spans.jsonl, {base}.chrome.json",
+            spans.len()
+        );
+    }
+
     probe.finish();
     rec.finish(&reg);
 }

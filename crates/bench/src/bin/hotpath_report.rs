@@ -143,6 +143,54 @@ fn hotpath_medians() -> Vec<(&'static str, f64)> {
             black_box(sim_disk::rotation::window_closed(track, angle, 0, spt));
         }),
     ));
+
+    // The observability layer off vs on: serve() with no spans or
+    // timeline attached must cost what it did before the layer existed
+    // (the disabled paths are a handful of `Option` checks); the enabled
+    // variant prices the full instrumentation — span recording down to
+    // drive phases plus the windowed sampler.
+    use server::{serve, DiskSpanBridge, SchedulerKind, ServerConfig, TimelineConfig};
+    use traxtent::obs::span::SpanRecorder;
+    let base_cfg = models::small_test_disk();
+    let trace = {
+        let d = Disk::new(base_cfg.clone());
+        let table = server::drive_boundaries(&d);
+        workloads::arrivals::stream_trace(
+            &workloads::arrivals::StreamsSpec {
+                read_streams: 2,
+                write_streams: 2,
+                chunk_sectors: 64,
+                chunk_period_ms: 10.0,
+                chunks_per_stream: 50,
+                seed: 99,
+            },
+            &table,
+        )
+    };
+    out.push((
+        "server/serve_obs_disabled",
+        median_ns(|| {
+            let mut disk = Disk::new(base_cfg.clone());
+            let cfg = ServerConfig::new(SchedulerKind::CLook);
+            black_box(serve(&mut disk, &trace, &cfg).expect("valid trace"));
+        }),
+    ));
+    out.push((
+        "server/serve_obs_enabled",
+        median_ns(|| {
+            let rec = SpanRecorder::new();
+            let mut cfg_disk = base_cfg.clone();
+            cfg_disk.tracer = Some(sim_disk::trace::Tracer::from_sink(DiskSpanBridge::new(
+                rec.clone(),
+            )));
+            let mut disk = Disk::new(cfg_disk);
+            let cfg = ServerConfig::new(SchedulerKind::CLook)
+                .with_spans(rec.clone())
+                .with_timeline(TimelineConfig::new(100.0));
+            black_box(serve(&mut disk, &trace, &cfg).expect("valid trace"));
+            black_box(rec.take_sorted());
+        }),
+    ));
     out
 }
 

@@ -22,9 +22,14 @@
 //! settles, and rotational repositioning), which pushes its saturation
 //! knee past C-LOOK's.
 
-use server::{drive_boundaries, serve, SchedulerKind, ServerConfig};
+use server::{
+    drive_boundaries, serve, DiskSpanBridge, SchedulerKind, ServerConfig, TimelineConfig,
+};
 use sim_disk::disk::Disk;
 use sim_disk::models;
+use sim_disk::trace::{Fanout, SharedSink, Tracer};
+use std::sync::{Arc, Mutex};
+use traxtent::obs::span::{self, Span, SpanRecorder};
 use traxtent::ConfidentBoundaries;
 use workloads::arrivals::{stream_trace, StreamsSpec};
 
@@ -39,6 +44,14 @@ const CHUNK_PERIOD_MS: f64 = 40.0;
 /// a track's worth of chunks is coalescible when co-queued.
 const CHUNK_SECTORS: u64 = 132;
 
+/// Sampler window for `--timeline` cells.
+const TIMELINE_WINDOW_MS: f64 = 250.0;
+
+/// SLO monitored on `--timeline` cells: at most 5% of a window's
+/// responses over 40 ms before the window counts as breached.
+const SLO_THRESHOLD_MS: f64 = 40.0;
+const SLO_BREACH_FRACTION: f64 = 0.05;
+
 struct CellResult {
     line: String,
     p50_ms: f64,
@@ -46,8 +59,22 @@ struct CellResult {
     p999_ms: f64,
     rejected: u64,
     throughput_rps: f64,
+    completed: u64,
+    timeline: Option<server::Timeline>,
+    slo: Option<server::SloSummary>,
+    spans: Vec<Span>,
 }
 
+/// Per-cell observability requests: the peak-load cells additionally
+/// record a windowed timeline (`--timeline`) and a causal span tree
+/// (`--trace`).
+#[derive(Clone, Copy)]
+struct ObsOpts {
+    timeline: bool,
+    spans: bool,
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_cell(
     probe: &traxtent_bench::Probe,
     reg: &traxtent::obs::Registry,
@@ -55,8 +82,22 @@ fn run_cell(
     sched: SchedulerKind,
     chunks_per_stream: usize,
     seed: u64,
+    cell_index: usize,
+    obs: ObsOpts,
 ) -> CellResult {
-    let cfg = probe.wrap(models::quantum_atlas_10k_ii());
+    let mut cfg = probe.wrap(models::quantum_atlas_10k_ii());
+    // A per-cell recorder with a per-cell salt, so merged span ids never
+    // collide across cells and the export is identical at any --threads.
+    let rec = obs.spans.then(|| {
+        let rec = SpanRecorder::new();
+        rec.set_salt(span::derive_id(seed, 0xCE11, cell_index as u64, 0));
+        let bridge: SharedSink = Arc::new(Mutex::new(DiskSpanBridge::new(rec.clone())));
+        cfg.tracer = Some(match cfg.tracer.take() {
+            Some(t) => Tracer::from_sink(Fanout::new(vec![t.sink(), bridge])),
+            None => Tracer::new(bridge),
+        });
+        rec
+    });
     let mut disk = Disk::new(cfg);
     let table = drive_boundaries(&disk);
     let spec = StreamsSpec {
@@ -70,7 +111,16 @@ fn run_cell(
         seed: seed ^ ((streams as u64) << 8),
     };
     let trace = stream_trace(&spec, &table);
-    let server_cfg = ServerConfig::new(sched).with_boundaries(ConfidentBoundaries::certain(table));
+    let mut server_cfg =
+        ServerConfig::new(sched).with_boundaries(ConfidentBoundaries::certain(table));
+    if obs.timeline {
+        server_cfg = server_cfg.with_timeline(
+            TimelineConfig::new(TIMELINE_WINDOW_MS).with_slo(SLO_THRESHOLD_MS, SLO_BREACH_FRACTION),
+        );
+    }
+    if let Some(rec) = &rec {
+        server_cfg = server_cfg.with_spans(rec.clone());
+    }
     let res = serve(&mut disk, &trace, &server_cfg).expect("generated traces are valid");
     res.export_metrics(reg);
 
@@ -94,14 +144,20 @@ fn run_cell(
         p999_ms: res.percentile_ms(0.999),
         rejected: res.rejected(),
         throughput_rps: res.throughput_rps(),
+        completed: res.completed(),
+        timeline: res.timeline,
+        slo: res.slo,
+        spans: rec.map(|r| r.take_sorted()).unwrap_or_default(),
     }
 }
 
 fn main() {
-    let cli = traxtent_bench::Cli::parse();
+    let cli = traxtent_bench::Cli::parse_with(&["--timeline"]);
     let probe = cli.probe();
     let reg = traxtent::obs::Registry::new();
     let mut rec = cli.recorder("server_sweep");
+    let timeline = cli.has("--timeline");
+    let tracing = cli.trace.is_some();
     let chunks_per_stream = if cli.quick { 400 } else { 2000 };
 
     traxtent_bench::header(
@@ -124,8 +180,24 @@ fn main() {
         .iter()
         .flat_map(|&s| SchedulerKind::ALL.iter().map(move |&k| (s, k)))
         .collect();
-    let results = cli.executor().run(cells.clone(), |_, (streams, sched)| {
-        run_cell(&probe, &reg, streams, sched, chunks_per_stream, cli.seed)
+    // Only the peak-load cells carry the extra observability: that is
+    // where the SLO story lives, and it keeps the span export readable.
+    let peak = LEVELS[LEVELS.len() - 1];
+    let results = cli.executor().run(cells.clone(), |i, (streams, sched)| {
+        let obs = ObsOpts {
+            timeline: timeline && streams == peak,
+            spans: tracing && streams == peak,
+        };
+        run_cell(
+            &probe,
+            &reg,
+            streams,
+            sched,
+            chunks_per_stream,
+            cli.seed,
+            i,
+            obs,
+        )
     });
 
     let mut hi_clook_p99 = 0.0f64;
@@ -155,6 +227,51 @@ fn main() {
          ({gain:.2}x)"
     );
     rec.headline("traxtent_p99_gain_hiload", gain);
+
+    if timeline {
+        // The live-telemetry section: one windowed table per peak-load
+        // cell, plus the SLO verdict, mirrored into its own manifest so
+        // CI can diff the series run over run.
+        let mut trec = cli.recorder("server_timeline");
+        let treg = traxtent::obs::Registry::new();
+        for ((streams, sched), r) in cells.iter().zip(&results) {
+            let Some(t) = &r.timeline else { continue };
+            let tag = format!("s{streams}_{}", sched.label());
+            println!(
+                "## timeline {tag} (window {TIMELINE_WINDOW_MS:.0} ms, {} buckets)",
+                t.buckets.len()
+            );
+            print!("{t}");
+            if let Some(slo) = &r.slo {
+                println!("{slo}");
+                trec.headline(&format!("{tag}_slo_breached"), slo.breached as f64);
+                trec.headline(&format!("{tag}_slo_worst_burn"), slo.worst_burn_rate);
+            }
+            trec.headline(&format!("{tag}_completed"), r.completed as f64);
+            trec.headline(&format!("{tag}_p99_ms"), r.p99_ms);
+            trec.timeline(&tag, t.rows());
+        }
+        trec.finish(&treg);
+    }
+
+    if tracing {
+        // Merge the per-cell span trees (distinct per-cell salts keep ids
+        // unique) and export next to the --trace file. Status goes to
+        // stderr so stdout stays byte-identical with an untraced run.
+        let mut spans: Vec<Span> = results.iter().flat_map(|r| r.spans.clone()).collect();
+        spans.sort_by_key(|s| (s.start_ns, s.id));
+        let path = cli.trace.as_deref().expect("tracing implies --trace");
+        let base = path.strip_suffix(".jsonl").unwrap_or(path);
+        let jsonl: String = spans.iter().map(|s| s.to_json() + "\n").collect();
+        std::fs::write(format!("{base}.spans.jsonl"), jsonl).expect("span export writable");
+        std::fs::write(format!("{base}.chrome.json"), span::chrome_trace(&spans))
+            .expect("chrome export writable");
+        eprintln!(
+            "server_sweep: {} spans -> {base}.spans.jsonl, {base}.chrome.json",
+            spans.len()
+        );
+    }
+
     probe.finish();
     rec.finish(&reg);
 }

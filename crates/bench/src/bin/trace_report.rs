@@ -9,7 +9,7 @@
 //! ```
 
 use sim_disk::metrics::{MetricsRegistry, PHASES};
-use sim_disk::trace::TraceEvent;
+use sim_disk::trace::{peek_event_name, TraceEvent};
 use std::collections::BTreeMap;
 use std::io::BufRead;
 
@@ -51,8 +51,11 @@ fn main() {
     let mut registry = MetricsRegistry::new();
     let mut completes: Vec<TraceEvent> = Vec::new();
     let mut scsi: BTreeMap<String, u64> = BTreeMap::new();
-    // An unparseable line means the producing run was interrupted mid-write
-    // (a truncated tail, not a corrupt file): report everything before it.
+    // A well-formed line whose event kind this build does not know (a
+    // newer producer, or span records mixed into the stream) is counted
+    // and skipped. Only a malformed line — the producing run interrupted
+    // mid-write, leaving a truncated tail — stops the scan.
+    let mut unknown: BTreeMap<String, u64> = BTreeMap::new();
     let mut truncated_at: Option<usize> = None;
     for (i, line) in std::io::BufReader::new(file).lines().enumerate() {
         let line = line.unwrap_or_else(|e| {
@@ -64,10 +67,16 @@ fn main() {
         }
         let event = match TraceEvent::parse_json(&line) {
             Ok(event) => event,
-            Err(_) => {
-                truncated_at = Some(i + 1);
-                break;
-            }
+            Err(_) => match peek_event_name(&line) {
+                Some(kind) => {
+                    *unknown.entry(kind).or_insert(0) += 1;
+                    continue;
+                }
+                None => {
+                    truncated_at = Some(i + 1);
+                    break;
+                }
+            },
         };
         *census.entry(event.name()).or_insert(0) += 1;
         match &event {
@@ -82,7 +91,7 @@ fn main() {
         }
     }
 
-    if census.is_empty() {
+    if census.is_empty() && unknown.is_empty() {
         match truncated_at {
             Some(line_no) => {
                 println!("trace `{path}` holds no usable events (truncated at line {line_no})")
@@ -102,6 +111,16 @@ fn main() {
     println!("## Event census");
     for (name, count) in &census {
         println!("{name:<12} {count:>10}");
+    }
+    if !unknown.is_empty() {
+        println!("## Unrecognized event kinds (skipped)");
+        for (kind, count) in &unknown {
+            println!("{kind:<12} {count:>10}");
+        }
+    }
+    if completes.is_empty() && census.is_empty() {
+        println!("no recognized events in trace");
+        return;
     }
     if !scsi.is_empty() {
         println!("## SCSI diagnostic commands");

@@ -179,6 +179,22 @@ fn diff_one(figure: &str, base: &Manifest, cur: &Manifest, tol: &Tolerances, rep
             "{figure}: {changed_metrics} metric cell(s) differ (informational)"
         ));
     }
+    for (name, brows) in &base.timeline {
+        match cur.timeline.get(name) {
+            None => report.lines.push(format!(
+                "{figure}: timeline `{name}` missing from current manifest (informational)"
+            )),
+            Some(crows) => {
+                let differing = brows.iter().zip(crows).filter(|(b, c)| b != c).count()
+                    + brows.len().abs_diff(crows.len());
+                if differing > 0 {
+                    report.lines.push(format!(
+                        "{figure}: timeline `{name}` {differing} row(s) differ (informational)"
+                    ));
+                }
+            }
+        }
+    }
 }
 
 /// Loads both directories and compares them.
@@ -318,6 +334,42 @@ mod tests {
         assert!(diff_manifests(&base, &cur, &Tolerances::default()).passed());
         let bad = map(vec![manifest("fig1", &[("misses", 1.0)])]);
         assert!(!diff_manifests(&base, &bad, &Tolerances::default()).passed());
+    }
+
+    #[test]
+    fn timeline_rows_report_informationally() {
+        let mut with_rows = manifest("server_timeline", &[("peak_p99_ms", 20.0)]);
+        let mut row = BTreeMap::new();
+        row.insert("start_ms".to_string(), 0.0);
+        row.insert("completed".to_string(), 40.0);
+        with_rows.timeline.insert("clook_s6".into(), vec![row]);
+        let base = map(vec![with_rows.clone()]);
+        // Identical timelines: silent.
+        let report = diff_manifests(&base, &base, &Tolerances::default());
+        assert!(report.passed());
+        assert!(
+            !report.render().contains("timeline `"),
+            "{}",
+            report.render()
+        );
+        // Changed rows: informational line, not a regression.
+        let mut changed = with_rows.clone();
+        changed.timeline.get_mut("clook_s6").unwrap()[0].insert("completed".into(), 41.0);
+        let report = diff_manifests(&base, &map(vec![changed]), &Tolerances::default());
+        assert!(report.passed(), "{}", report.render());
+        assert!(
+            report
+                .render()
+                .contains("timeline `clook_s6` 1 row(s) differ"),
+            "{}",
+            report.render()
+        );
+        // A dropped series is informational too; gating lives in headline.
+        let mut dropped = with_rows;
+        dropped.timeline.clear();
+        let report = diff_manifests(&base, &map(vec![dropped]), &Tolerances::default());
+        assert!(report.passed());
+        assert!(report.render().contains("missing"), "{}", report.render());
     }
 
     #[test]

@@ -53,6 +53,10 @@ pub struct Manifest {
     pub headline: BTreeMap<String, f64>,
     /// Counter/gauge snapshot exported by the layers the run exercised.
     pub metrics: BTreeMap<String, u64>,
+    /// Named time-series: one row of named values per sampling window
+    /// (see `server::timeline`). Serialized only when non-empty, so
+    /// manifests without telemetry keep their historical byte shape.
+    pub timeline: BTreeMap<String, Vec<BTreeMap<String, f64>>>,
 }
 
 impl Manifest {
@@ -67,6 +71,7 @@ impl Manifest {
             wall_secs: 0.0,
             headline: BTreeMap::new(),
             metrics: BTreeMap::new(),
+            timeline: BTreeMap::new(),
         }
     }
 
@@ -90,17 +95,49 @@ impl Manifest {
             obj.push('}');
             obj
         });
-        let _ = writeln!(out, "  \"metrics\": {}", {
-            let mut obj = String::from("{");
-            for (i, (k, v)) in self.metrics.iter().enumerate() {
-                if i > 0 {
-                    obj.push_str(", ");
+        let _ = writeln!(
+            out,
+            "  \"metrics\": {}{}",
+            {
+                let mut obj = String::from("{");
+                for (i, (k, v)) in self.metrics.iter().enumerate() {
+                    if i > 0 {
+                        obj.push_str(", ");
+                    }
+                    let _ = write!(obj, "{}: {}", json_string(k), v);
                 }
-                let _ = write!(obj, "{}: {}", json_string(k), v);
+                obj.push('}');
+                obj
+            },
+            if self.timeline.is_empty() { "" } else { "," }
+        );
+        if !self.timeline.is_empty() {
+            out.push_str("  \"timeline\": {\n");
+            for (i, (name, rows)) in self.timeline.iter().enumerate() {
+                let _ = writeln!(out, "    {}: [", json_string(name),);
+                for (j, row) in rows.iter().enumerate() {
+                    let mut obj = String::from("{");
+                    for (k, (key, v)) in row.iter().enumerate() {
+                        if k > 0 {
+                            obj.push_str(", ");
+                        }
+                        let _ = write!(obj, "{}: {}", json_string(key), json_f64(*v));
+                    }
+                    obj.push('}');
+                    let _ = writeln!(
+                        out,
+                        "      {obj}{}",
+                        if j + 1 < rows.len() { "," } else { "" }
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "    ]{}",
+                    if i + 1 < self.timeline.len() { "," } else { "" }
+                );
             }
-            obj.push('}');
-            obj
-        });
+            out.push_str("  }\n");
+        }
         out.push_str("}\n");
         out
     }
@@ -136,6 +173,23 @@ impl Manifest {
                     for (k, mv) in mm {
                         let num = mv.as_u64().ok_or("metric values must be integers")?;
                         m.metrics.insert(k.clone(), num);
+                    }
+                }
+                "timeline" => {
+                    let tl = v.as_object().ok_or("timeline must be an object")?;
+                    for (name, series) in tl {
+                        let rows = series.as_array().ok_or("timeline series must be arrays")?;
+                        let mut parsed = Vec::with_capacity(rows.len());
+                        for row in rows {
+                            let obj = row.as_object().ok_or("timeline rows must be objects")?;
+                            let mut map = BTreeMap::new();
+                            for (k, rv) in obj {
+                                let num = rv.as_f64().ok_or("timeline values must be numbers")?;
+                                map.insert(k.clone(), num);
+                            }
+                            parsed.push(map);
+                        }
+                        m.timeline.insert(name.clone(), parsed);
                     }
                 }
                 _ => {}
@@ -203,6 +257,11 @@ impl Recorder {
     /// Records one headline result value.
     pub fn headline(&mut self, key: &str, value: f64) {
         self.manifest.headline.insert(key.to_string(), value);
+    }
+
+    /// Records one named time-series (one row of named values per window).
+    pub fn timeline(&mut self, name: &str, rows: Vec<BTreeMap<String, f64>>) {
+        self.manifest.timeline.insert(name.to_string(), rows);
     }
 
     /// Stamps wall time and the registry snapshot, then writes the manifest
@@ -280,10 +339,12 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-/// A minimal JSON reader for the manifest's fixed shape: objects, strings,
-/// numbers, and booleans (arrays and `null` are rejected — manifests never
-/// contain them).
-mod json {
+/// A minimal JSON reader for the manifest's fixed shape: objects, arrays
+/// (the `timeline` section), strings, numbers, and booleans (`null` is
+/// rejected — manifests never contain it). Public so report binaries can
+/// validate other machine-readable artifacts (the Chrome trace export)
+/// without a JSON dependency.
+pub mod json {
     use std::collections::BTreeMap;
 
     /// A parsed JSON value.
@@ -297,9 +358,12 @@ mod json {
         Str(String),
         /// An object; insertion order is irrelevant to manifests.
         Obj(BTreeMap<String, Value>),
+        /// An array — only the `timeline` section carries them.
+        Arr(Vec<Value>),
     }
 
     impl Value {
+        /// The boolean payload, if this is a [`Value::Bool`].
         pub fn as_bool(&self) -> Option<bool> {
             match self {
                 Value::Bool(b) => Some(*b),
@@ -307,6 +371,7 @@ mod json {
             }
         }
 
+        /// The string payload, if this is a [`Value::Str`].
         pub fn as_str(&self) -> Option<&str> {
             match self {
                 Value::Str(s) => Some(s),
@@ -314,6 +379,7 @@ mod json {
             }
         }
 
+        /// The number parsed as `u64`, if this is an integral [`Value::Num`].
         pub fn as_u64(&self) -> Option<u64> {
             match self {
                 Value::Num(s) => s.parse().ok(),
@@ -321,6 +387,7 @@ mod json {
             }
         }
 
+        /// The number parsed as `f64`, if this is a [`Value::Num`].
         pub fn as_f64(&self) -> Option<f64> {
             match self {
                 Value::Num(s) => s.parse().ok(),
@@ -328,9 +395,18 @@ mod json {
             }
         }
 
+        /// The key/value map, if this is a [`Value::Obj`].
         pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
             match self {
                 Value::Obj(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        /// The element slice, if this is a [`Value::Arr`].
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(v) => Some(v),
                 _ => None,
             }
         }
@@ -383,11 +459,35 @@ mod json {
         fn value(&mut self) -> Result<Value, String> {
             match self.peek() {
                 Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
                 Some(b'"') => Ok(Value::Str(self.string()?)),
                 Some(b't') | Some(b'f') => self.boolean(),
                 Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
                 Some(b) => Err(format!("unexpected `{}` at byte {}", b as char, self.at)),
                 None => Err("unexpected end of input".into()),
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.at += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.at += 1,
+                    Some(b']') => {
+                        self.at += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {}", self.at)),
+                }
             }
         }
 
@@ -457,10 +557,22 @@ mod json {
                         self.at += 1;
                     }
                     Some(_) => {
-                        // Consume one UTF-8 scalar, not one byte.
-                        let rest = std::str::from_utf8(&self.bytes[self.at..])
-                            .map_err(|e| e.to_string())?;
-                        let c = rest.chars().next().ok_or("unterminated string")?;
+                        // Consume one UTF-8 scalar, not one byte. Decode
+                        // from a 4-byte window — validating the whole tail
+                        // here would make parsing quadratic in input size.
+                        let end = (self.at + 4).min(self.bytes.len());
+                        let chunk = &self.bytes[self.at..end];
+                        let c = match std::str::from_utf8(chunk) {
+                            Ok(s) => s.chars().next().ok_or("unterminated string")?,
+                            Err(e) if e.valid_up_to() > 0 => {
+                                std::str::from_utf8(&chunk[..e.valid_up_to()])
+                                    .expect("validated prefix")
+                                    .chars()
+                                    .next()
+                                    .ok_or("unterminated string")?
+                            }
+                            Err(e) => return Err(e.to_string()),
+                        };
                         out.push(c);
                         self.at += c.len_utf8();
                     }
@@ -529,6 +641,28 @@ mod tests {
         m.headline.insert("tiny".into(), 1e-12);
         m.headline.insert("whole".into(), 3.0);
         m.metrics.insert("big".into(), u64::MAX);
+        let back = Manifest::parse_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn timeline_round_trips_and_stays_out_of_plain_manifests() {
+        let plain = sample();
+        assert!(
+            !plain.to_json().contains("timeline"),
+            "no timeline key without telemetry"
+        );
+        let mut m = sample();
+        let row = |start: f64, done: f64| {
+            let mut r = BTreeMap::new();
+            r.insert("start_ms".to_string(), start);
+            r.insert("completed".to_string(), done);
+            r.insert("p99_ms".to_string(), 17.25);
+            r
+        };
+        m.timeline
+            .insert("clook_s6".into(), vec![row(0.0, 41.0), row(200.0, 38.0)]);
+        m.timeline.insert("empty_series".into(), Vec::new());
         let back = Manifest::parse_json(&m.to_json()).unwrap();
         assert_eq!(back, m);
     }

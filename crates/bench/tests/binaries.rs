@@ -182,3 +182,116 @@ fn manifests_are_identical_across_thread_counts() {
 
     fs::remove_dir_all(&dir).unwrap();
 }
+
+#[test]
+fn trace_report_counts_unknown_kinds_without_truncating() {
+    use traxtent::obs::span::Span;
+    let dir = scratch("trace-unknown");
+    let path = dir.join("mixed.jsonl");
+    // Recognized events surrounding a future event kind and a span
+    // record: both are well-formed JSONL, so the report counts and skips
+    // them instead of treating the file as truncated.
+    let mut text = valid_trace_line() + "\n";
+    text += "{\"ev\": \"warp_drive\", \"req\": 9, \"t\": 5}\n";
+    text += &(Span::new(0x2a, 0, "request", 0, 10, 20).to_json() + "\n");
+    text += &(valid_trace_line() + "\n");
+    fs::write(&path, text).unwrap();
+
+    let out = run(
+        env!("CARGO_BIN_EXE_trace_report"),
+        &[path.to_str().unwrap()],
+    );
+    assert!(out.status.success(), "exit: {:?}", out.status);
+    let text = stdout(&out);
+    assert!(text.contains("issue"), "census keeps known events: {text}");
+    assert!(
+        text.contains("Unrecognized event kinds"),
+        "unknown section: {text}"
+    );
+    assert!(text.contains("warp_drive"), "stdout: {text}");
+    assert!(text.contains("span:request"), "stdout: {text}");
+    assert!(!text.contains("truncated"), "no truncation note: {text}");
+
+    // A malformed line still truncates — after the events before it.
+    fs::write(&path, valid_trace_line() + "\n{\"ev\": \"se").unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_trace_report"),
+        &[path.to_str().unwrap()],
+    );
+    assert!(out.status.success(), "exit: {:?}", out.status);
+    assert!(
+        stdout(&out).contains("truncated at line 2"),
+        "stdout: {}",
+        stdout(&out)
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sweep_trace_exports_chain_into_trace_timeline() {
+    let dir = scratch("span-export");
+    let trace = dir.join("sweep.jsonl");
+    let manifests = dir.join("m");
+
+    // The acceptance chain: a traced+timed sweep writes the span export,
+    // the Chrome export, and the timeline manifest...
+    let out = run(
+        env!("CARGO_BIN_EXE_server_sweep"),
+        &[
+            "--quick",
+            "--seed",
+            "42",
+            "--timeline",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--manifest",
+            manifests.to_str().unwrap(),
+        ],
+    );
+    assert!(out.status.success(), "exit: {:?}", out.status);
+    assert!(
+        stdout(&out).contains("## timeline s6_"),
+        "timeline sections on stdout"
+    );
+    let spans = dir.join("sweep.spans.jsonl");
+    let chrome = dir.join("sweep.chrome.json");
+    let timeline_manifest = manifests.join("server_timeline.json");
+    assert!(spans.exists() && chrome.exists() && timeline_manifest.exists());
+    let m = Manifest::load(&timeline_manifest).unwrap();
+    assert!(!m.timeline.is_empty(), "timeline rows recorded");
+
+    // ...and trace_timeline validates all three together.
+    let out = run(
+        env!("CARGO_BIN_EXE_trace_timeline"),
+        &[
+            spans.to_str().unwrap(),
+            "--chrome",
+            chrome.to_str().unwrap(),
+            "--manifest",
+            timeline_manifest.to_str().unwrap(),
+        ],
+    );
+    assert!(out.status.success(), "exit: {:?}", out.status);
+    let text = stdout(&out);
+    assert!(text.contains("trees, max depth"), "validation line: {text}");
+    assert!(text.contains("queue_wait"), "layer breakdown: {text}");
+    assert!(text.contains("— ok"), "chrome check: {text}");
+    assert!(
+        text.contains("Manifest timeline"),
+        "manifest tables: {text}"
+    );
+
+    // A corrupted span line is a hard error, unlike trace_report's
+    // tolerant event stream: span exports are written atomically by the
+    // sweep binaries, so damage means the file cannot be trusted.
+    let mut lines = fs::read_to_string(&spans).unwrap();
+    lines.insert_str(0, "{\"span\": \"req");
+    fs::write(&spans, lines).unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_trace_timeline"),
+        &[spans.to_str().unwrap()],
+    );
+    assert_eq!(out.status.code(), Some(1), "malformed span must fail");
+
+    fs::remove_dir_all(&dir).unwrap();
+}

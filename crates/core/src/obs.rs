@@ -35,6 +35,8 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+pub mod span;
+
 /// A shared registry of named `u64` cells. Cloning is cheap and yields a
 /// handle to the *same* registry, so one registry can be threaded through
 /// every layer of a run.

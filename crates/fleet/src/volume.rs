@@ -7,6 +7,7 @@ use sim_disk::disk::Disk;
 use sim_disk::request::{Completion, Op, Request};
 use sim_disk::SimTime;
 use traxtent::boundaries::ConfidentBoundaries;
+use traxtent::obs::span::{self, Span, SpanRecorder};
 use traxtent::obs::Registry;
 
 /// How many times a surfaced [`sim_disk::fault::CommandFault`] is
@@ -108,6 +109,142 @@ pub struct Volume {
     pub(crate) stats: VolumeStats,
     fill_seed: u64,
     write_seq: u64,
+    spans: Option<SpanRecorder>,
+    span_seq: u64,
+}
+
+/// Span bookkeeping for one logical volume access: the open `vol_cmd`
+/// span, the per-member command sub-sequence, and the context that must
+/// be restored when the access finishes (or unwinds on error — restoring
+/// happens in `Drop` so a failed access never leaks its context into
+/// later untraced traffic).
+struct AccessSpans {
+    rec: SpanRecorder,
+    saved: (u64, u32),
+    vol_id: u64,
+    seq: u64,
+    sub: u64,
+    parent: u64,
+    notes: Vec<&'static str>,
+    buf: Vec<Span>,
+}
+
+impl AccessSpans {
+    /// Issues `req` to `member` under a fresh `member_cmd` span, with the
+    /// recorder context pointed at it so the member drive's
+    /// [`server::DiskSpanBridge`] parents its `disk_cmd` spans (one per
+    /// attempt — retries stay visible) underneath.
+    fn member_issue(
+        &mut self,
+        member: &mut Member,
+        m: usize,
+        req: Request,
+        at: SimTime,
+        role: &'static str,
+    ) -> Result<Completion, ()> {
+        let id = span::derive_id(self.rec.salt(), span::kind::MEMBER_CMD, self.seq, self.sub);
+        self.sub += 1;
+        let track = (1 + m) as u32;
+        self.rec.set_context(id, track);
+        let res = member.issue(req, at);
+        let end = match &res {
+            Ok(c) => c.completion,
+            Err(()) => at,
+        };
+        let mut s = Span::new(
+            id,
+            self.parent,
+            "member_cmd",
+            track,
+            at.as_ns(),
+            end.as_ns(),
+        );
+        s.push_attr("member", m);
+        s.push_attr("op", op_label(req.op));
+        s.push_attr("pstart", req.lbn);
+        s.push_attr("len", req.len);
+        s.push_attr("role", role);
+        if res.is_err() {
+            s.push_attr("failed", 1);
+        }
+        self.buf.push(s);
+        res
+    }
+
+    /// Opens a `reconstruct` grouping span; member commands issued until
+    /// [`AccessSpans::end_reconstruct`] parent under it.
+    fn begin_reconstruct(&mut self) -> u64 {
+        let id = span::derive_id(self.rec.salt(), span::kind::RECONSTRUCT, self.seq, self.sub);
+        self.sub += 1;
+        self.parent = id;
+        id
+    }
+
+    fn end_reconstruct(&mut self, id: u64, chunk: &Chunk, at: SimTime, done: SimTime) {
+        let mut s = Span::new(id, self.vol_id, "reconstruct", 0, at.as_ns(), done.as_ns());
+        s.push_attr("member", chunk.member);
+        s.push_attr("sectors", chunk.len);
+        self.buf.push(s);
+        self.parent = self.vol_id;
+    }
+
+    /// Remembers which service mode the access took (`rmw`,
+    /// `reconstruct_write`, …); deduplicated into `mode` attrs at finish.
+    fn note(&mut self, mode: &'static str) {
+        if !self.notes.contains(&mode) {
+            self.notes.push(mode);
+        }
+    }
+
+    /// Emits the `vol_cmd` span covering the whole access and flushes the
+    /// buffered spans to the recorder.
+    fn finish(mut self, req: Request, at: SimTime, done: SimTime) {
+        let mut v = Span::new(
+            self.vol_id,
+            self.saved.0,
+            "vol_cmd",
+            0,
+            at.as_ns(),
+            done.as_ns(),
+        );
+        v.push_attr("op", op_label(req.op));
+        v.push_attr("lbn", req.lbn);
+        v.push_attr("len", req.len);
+        for mode in std::mem::take(&mut self.notes) {
+            v.push_attr("mode", mode);
+        }
+        self.buf.push(v);
+        let mut buf = std::mem::take(&mut self.buf);
+        self.rec.record_all(&mut buf);
+    }
+}
+
+impl Drop for AccessSpans {
+    fn drop(&mut self) {
+        self.rec.set_context(self.saved.0, self.saved.1);
+    }
+}
+
+fn op_label(op: Op) -> &'static str {
+    match op {
+        Op::Read => "read",
+        Op::Write => "write",
+    }
+}
+
+/// Issues `req` to `member`, through the span scope when one is active.
+fn issue_member(
+    member: &mut Member,
+    m: usize,
+    req: Request,
+    at: SimTime,
+    sp: &mut Option<AccessSpans>,
+    role: &'static str,
+) -> Result<Completion, ()> {
+    match sp {
+        Some(s) => s.member_issue(member, m, req, at, role),
+        None => member.issue(req, at),
+    }
 }
 
 impl Volume {
@@ -141,6 +278,37 @@ impl Volume {
             stats: VolumeStats::default(),
             fill_seed: 0,
             write_seq: 0,
+            spans: None,
+            span_seq: 0,
+        })
+    }
+
+    /// Attaches a span recorder: every subsequent [`Volume::read`] /
+    /// [`Volume::write`] emits a `vol_cmd` span (parented under whatever
+    /// context the caller set — the server's dispatch span) with one
+    /// `member_cmd` child per member command, and `reconstruct` grouping
+    /// spans on RAID-5 degraded reads. Install a
+    /// [`server::DiskSpanBridge`] as each member drive's tracer on the
+    /// same recorder to extend the tree down to per-phase drive spans.
+    pub fn attach_spans(&mut self, rec: SpanRecorder) {
+        self.spans = Some(rec);
+    }
+
+    /// Opens the span scope for one logical access, if recording.
+    fn begin_access(&mut self) -> Option<AccessSpans> {
+        let rec = self.spans.clone()?;
+        self.span_seq += 1;
+        let saved = rec.context();
+        let vol_id = span::derive_id(rec.salt(), span::kind::VOL_CMD, self.span_seq, 0);
+        Some(AccessSpans {
+            rec,
+            saved,
+            vol_id,
+            seq: self.span_seq,
+            sub: 0,
+            parent: vol_id,
+            notes: Vec::new(),
+            buf: Vec::new(),
         })
     }
 
@@ -328,6 +496,7 @@ impl Volume {
         chunk: &Chunk,
         at: SimTime,
         data: &mut Vec<u64>,
+        sp: &mut Option<AccessSpans>,
     ) -> Result<(SimTime, u32), FleetError> {
         let info = self.layout.rounds()[chunk.round].clone();
         let off = chunk.pstart - info.pstarts[chunk.member];
@@ -335,6 +504,7 @@ impl Volume {
         let mut cmds = 0;
         let base = data.len();
         data.resize(base + chunk.len as usize, 0);
+        let rid = sp.as_mut().map(AccessSpans::begin_reconstruct);
         for m in 0..self.members.len() {
             if m == chunk.member {
                 continue;
@@ -346,16 +516,21 @@ impl Volume {
             }
             let pstart = info.pstarts[m] + off;
             let req = Request::read(pstart, chunk.len);
-            let c = self.members[m]
-                .issue(req, at)
-                .map_err(|_| FleetError::Unrecoverable {
-                    member: chunk.member,
+            let c =
+                issue_member(&mut self.members[m], m, req, at, sp, "survivor").map_err(|_| {
+                    FleetError::Unrecoverable {
+                        member: chunk.member,
+                    }
                 })?;
             cmds += 1;
             done = done.max(c.completion);
             for o in 0..chunk.len as usize {
                 data[base + o] ^= self.members[m].store.word(pstart + o as u64);
             }
+        }
+        if let (Some(s), Some(id)) = (sp.as_mut(), rid) {
+            s.end_reconstruct(id, chunk, at, done);
+            s.note("reconstruct_read");
         }
         self.stats.member_cmds += cmds as u64;
         self.stats.degraded_reads += 1;
@@ -375,6 +550,7 @@ impl Volume {
     ) -> Result<(VolumeCompletion, Vec<u64>), FleetError> {
         self.check_range(lbn, len)?;
         let chunks = self.layout.split(lbn, len)?;
+        let mut sp = self.begin_access();
         let mut done = at;
         let mut cmds = 0u32;
         let mut reconstructed = false;
@@ -387,8 +563,7 @@ impl Volume {
                         return Err(FleetError::Unrecoverable { member: m });
                     }
                     let req = Request::read(chunk.pstart, chunk.len);
-                    let c = self.members[m]
-                        .issue(req, at)
+                    let c = issue_member(&mut self.members[m], m, req, at, &mut sp, "data")
                         .map_err(|_| FleetError::Unrecoverable { member: m })?;
                     self.stats.member_cmds += 1;
                     cmds += 1;
@@ -406,7 +581,9 @@ impl Volume {
                             continue;
                         }
                         let req = Request::read(chunk.pstart, chunk.len);
-                        if let Ok(c) = self.members[m].issue(req, at) {
+                        let role = if k == 0 { "data" } else { "mirror" };
+                        if let Ok(c) = issue_member(&mut self.members[m], m, req, at, &mut sp, role)
+                        {
                             self.stats.member_cmds += 1;
                             cmds += 1;
                             done = done.max(c.completion);
@@ -417,6 +594,9 @@ impl Volume {
                                 self.stats.degraded_reads += 1;
                                 self.stats.reconstructed_sectors += chunk.len;
                                 reconstructed = true;
+                                if let Some(s) = sp.as_mut() {
+                                    s.note("degraded_mirror");
+                                }
                             }
                             served = true;
                             break;
@@ -432,7 +612,7 @@ impl Volume {
                     let m = chunk.member;
                     let healthy_ok = if self.members[m].healthy {
                         let req = Request::read(chunk.pstart, chunk.len);
-                        match self.members[m].issue(req, at) {
+                        match issue_member(&mut self.members[m], m, req, at, &mut sp, "data") {
                             Ok(c) => {
                                 self.stats.member_cmds += 1;
                                 cmds += 1;
@@ -448,7 +628,7 @@ impl Volume {
                         false
                     };
                     if !healthy_ok {
-                        let (t, c) = self.raid5_reconstruct_read(chunk, at, &mut data)?;
+                        let (t, c) = self.raid5_reconstruct_read(chunk, at, &mut data, &mut sp)?;
                         done = done.max(t);
                         cmds += c;
                         reconstructed = true;
@@ -456,9 +636,13 @@ impl Volume {
                 }
             }
         }
+        let request = Request::read(lbn, len);
+        if let Some(s) = sp {
+            s.finish(request, at, done);
+        }
         Ok((
             VolumeCompletion {
-                request: Request::read(lbn, len),
+                request,
                 issue: at,
                 completion: done,
                 member_cmds: cmds,
@@ -481,19 +665,24 @@ impl Volume {
         let len = data.len() as u64;
         self.check_range(lbn, len)?;
         let chunks = self.layout.split(lbn, len)?;
+        let mut sp = self.begin_access();
         let mut done = at;
         let mut cmds = 0u32;
         let mut reconstructed = false;
         for chunk in &chunks {
             let words =
                 &data[(chunk.lstart - lbn) as usize..(chunk.lstart - lbn + chunk.len) as usize];
-            let (t, c, degraded) = self.write_chunk(chunk, words, at)?;
+            let (t, c, degraded) = self.write_chunk(chunk, words, at, &mut sp)?;
             done = done.max(t);
             cmds += c;
             reconstructed |= degraded;
         }
+        let request = Request::write(lbn, len);
+        if let Some(s) = sp {
+            s.finish(request, at, done);
+        }
         Ok(VolumeCompletion {
-            request: Request::write(lbn, len),
+            request,
             issue: at,
             completion: done,
             member_cmds: cmds,
@@ -506,6 +695,7 @@ impl Volume {
         chunk: &Chunk,
         words: &[u64],
         at: SimTime,
+        sp: &mut Option<AccessSpans>,
     ) -> Result<(SimTime, u32, bool), FleetError> {
         match self.layout.kind() {
             VolumeKind::Striped => {
@@ -514,8 +704,7 @@ impl Volume {
                     return Err(FleetError::Unrecoverable { member: m });
                 }
                 let req = Request::write(chunk.pstart, chunk.len);
-                let c = self.members[m]
-                    .issue(req, at)
+                let c = issue_member(&mut self.members[m], m, req, at, sp, "data")
                     .map_err(|_| FleetError::Unrecoverable { member: m })?;
                 self.stats.member_cmds += 1;
                 self.members[m].store.write(chunk.pstart, words);
@@ -529,8 +718,7 @@ impl Volume {
                         continue;
                     }
                     let req = Request::write(chunk.pstart, chunk.len);
-                    let c = self.members[m]
-                        .issue(req, at)
+                    let c = issue_member(&mut self.members[m], m, req, at, sp, "copy")
                         .map_err(|_| FleetError::Unrecoverable { member: m })?;
                     self.stats.member_cmds += 1;
                     cmds += 1;
@@ -542,9 +730,15 @@ impl Volume {
                         member: chunk.member,
                     });
                 }
-                Ok((done, cmds, self.is_degraded()))
+                let degraded = self.is_degraded();
+                if degraded {
+                    if let Some(s) = sp.as_mut() {
+                        s.note("degraded_mirror");
+                    }
+                }
+                Ok((done, cmds, degraded))
             }
-            VolumeKind::Raid5 => self.raid5_write_chunk(chunk, words, at),
+            VolumeKind::Raid5 => self.raid5_write_chunk(chunk, words, at, sp),
         }
     }
 
@@ -553,6 +747,7 @@ impl Volume {
         chunk: &Chunk,
         words: &[u64],
         at: SimTime,
+        sp: &mut Option<AccessSpans>,
     ) -> Result<(SimTime, u32, bool), FleetError> {
         let info = self.layout.rounds()[chunk.round].clone();
         let owner = chunk.member;
@@ -565,12 +760,27 @@ impl Volume {
             (true, true) => {
                 // Read-modify-write: read old data and old parity, then
                 // write both with the XOR-updated parity.
-                let r1 = self.members[owner]
-                    .issue(Request::read(chunk.pstart, chunk.len), at)
-                    .map_err(|_| FleetError::Unrecoverable { member: owner })?;
-                let r2 = self.members[parity]
-                    .issue(Request::read(ppstart, chunk.len), at)
-                    .map_err(|_| FleetError::Unrecoverable { member: parity })?;
+                if let Some(s) = sp.as_mut() {
+                    s.note("rmw");
+                }
+                let r1 = issue_member(
+                    &mut self.members[owner],
+                    owner,
+                    Request::read(chunk.pstart, chunk.len),
+                    at,
+                    sp,
+                    "data",
+                )
+                .map_err(|_| FleetError::Unrecoverable { member: owner })?;
+                let r2 = issue_member(
+                    &mut self.members[parity],
+                    parity,
+                    Request::read(ppstart, chunk.len),
+                    at,
+                    sp,
+                    "parity",
+                )
+                .map_err(|_| FleetError::Unrecoverable { member: parity })?;
                 let reads_done = r1.completion.max(r2.completion);
                 let mut new_parity = Vec::with_capacity(words.len());
                 for (o, &w) in words.iter().enumerate() {
@@ -578,12 +788,24 @@ impl Volume {
                     let oldp = self.members[parity].store.word(ppstart + o as u64);
                     new_parity.push(oldp ^ old ^ w);
                 }
-                let w1 = self.members[owner]
-                    .issue(Request::write(chunk.pstart, chunk.len), reads_done)
-                    .map_err(|_| FleetError::Unrecoverable { member: owner })?;
-                let w2 = self.members[parity]
-                    .issue(Request::write(ppstart, chunk.len), reads_done)
-                    .map_err(|_| FleetError::Unrecoverable { member: parity })?;
+                let w1 = issue_member(
+                    &mut self.members[owner],
+                    owner,
+                    Request::write(chunk.pstart, chunk.len),
+                    reads_done,
+                    sp,
+                    "data",
+                )
+                .map_err(|_| FleetError::Unrecoverable { member: owner })?;
+                let w2 = issue_member(
+                    &mut self.members[parity],
+                    parity,
+                    Request::write(ppstart, chunk.len),
+                    reads_done,
+                    sp,
+                    "parity",
+                )
+                .map_err(|_| FleetError::Unrecoverable { member: parity })?;
                 self.members[owner].store.write(chunk.pstart, words);
                 self.members[parity].store.write(ppstart, &new_parity);
                 self.stats.member_cmds += 4;
@@ -593,6 +815,9 @@ impl Volume {
                 // Reconstruct-write: the new parity is the XOR of the new
                 // data with every *surviving* data column; the dead
                 // member's platters stay untouched.
+                if let Some(s) = sp.as_mut() {
+                    s.note("reconstruct_write");
+                }
                 let mut new_parity = words.to_vec();
                 let mut reads_done = at;
                 let mut cmds = 0;
@@ -604,18 +829,30 @@ impl Volume {
                         return Err(FleetError::Unrecoverable { member: owner });
                     }
                     let pstart = info.pstarts[m] + off;
-                    let c = self.members[m]
-                        .issue(Request::read(pstart, chunk.len), at)
-                        .map_err(|_| FleetError::Unrecoverable { member: owner })?;
+                    let c = issue_member(
+                        &mut self.members[m],
+                        m,
+                        Request::read(pstart, chunk.len),
+                        at,
+                        sp,
+                        "survivor",
+                    )
+                    .map_err(|_| FleetError::Unrecoverable { member: owner })?;
                     cmds += 1;
                     reads_done = reads_done.max(c.completion);
                     for (o, p) in new_parity.iter_mut().enumerate() {
                         *p ^= self.members[m].store.word(pstart + o as u64);
                     }
                 }
-                let w = self.members[parity]
-                    .issue(Request::write(ppstart, chunk.len), reads_done)
-                    .map_err(|_| FleetError::Unrecoverable { member: parity })?;
+                let w = issue_member(
+                    &mut self.members[parity],
+                    parity,
+                    Request::write(ppstart, chunk.len),
+                    reads_done,
+                    sp,
+                    "parity",
+                )
+                .map_err(|_| FleetError::Unrecoverable { member: parity })?;
                 cmds += 1;
                 self.members[parity].store.write(ppstart, &new_parity);
                 self.stats.member_cmds += cmds as u64;
@@ -624,9 +861,18 @@ impl Volume {
             }
             (true, false) => {
                 // Parity member is dead: write the data, skip parity.
-                let c = self.members[owner]
-                    .issue(Request::write(chunk.pstart, chunk.len), at)
-                    .map_err(|_| FleetError::Unrecoverable { member: owner })?;
+                if let Some(s) = sp.as_mut() {
+                    s.note("parity_skip");
+                }
+                let c = issue_member(
+                    &mut self.members[owner],
+                    owner,
+                    Request::write(chunk.pstart, chunk.len),
+                    at,
+                    sp,
+                    "data",
+                )
+                .map_err(|_| FleetError::Unrecoverable { member: owner })?;
                 self.members[owner].store.write(chunk.pstart, words);
                 self.stats.member_cmds += 1;
                 self.stats.degraded_writes += 1;
@@ -690,5 +936,10 @@ impl server::Backend for Volume {
                 .unwrap_or_else(|e| panic!("volume cannot serve {req:?}: {e}"));
             out.push(done.into_completion());
         }
+    }
+
+    /// Per-member mechanical occupancy, for windowed busy fractions.
+    fn member_busy_ns(&self) -> Vec<u64> {
+        self.members.iter().map(|m| m.disk.busy_ns()).collect()
     }
 }

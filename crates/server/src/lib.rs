@@ -53,15 +53,20 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod obs;
 pub mod sched;
+pub mod timeline;
 
 pub use admission::{AdmissionError, AdmissionQueue, Queued};
+pub use obs::DiskSpanBridge;
 pub use sched::{CLook, Dispatch, Fifo, Scheduler, SchedulerKind, Traxtent};
+pub use timeline::{Sampler, SloConfig, SloSummary, Timeline, TimelineBucket, TimelineConfig};
 
-use sim_disk::disk::{Disk, Request};
+use sim_disk::disk::{Disk, Op, Request};
 use sim_disk::{Completion, SimTime};
 use std::error::Error;
 use std::fmt;
+use traxtent::obs::span::{self, Span, SpanRecorder};
 use traxtent::obs::Registry;
 use traxtent::{stats, ConfidentBoundaries, TrackBoundaries};
 use workloads::replay::TraceRecord;
@@ -83,6 +88,15 @@ pub trait Backend {
     /// Services a batch of commands, appending one [`Completion`] per
     /// request to `out` in issue order.
     fn service_batch_into(&mut self, batch: &[(Request, SimTime)], out: &mut Vec<Completion>);
+
+    /// Cumulative mechanical occupancy of each member drive in simulated
+    /// nanoseconds (one entry per member; a bare disk is one member).
+    /// The timeline sampler polls this between rounds to derive windowed
+    /// per-member busy fractions; backends without the notion may return
+    /// an empty vector (the default).
+    fn member_busy_ns(&self) -> Vec<u64> {
+        Vec::new()
+    }
 }
 
 impl Backend for Disk {
@@ -92,6 +106,10 @@ impl Backend for Disk {
 
     fn service_batch_into(&mut self, batch: &[(Request, SimTime)], out: &mut Vec<Completion>) {
         Disk::service_batch_into(self, batch, out);
+    }
+
+    fn member_busy_ns(&self) -> Vec<u64> {
+        vec![self.busy_ns()]
     }
 }
 
@@ -109,6 +127,14 @@ pub struct ServerConfig {
     pub boundaries: Option<ConfidentBoundaries>,
     /// Confidence below which a track is treated as unknown.
     pub confidence_threshold: f64,
+    /// Causal-span recorder: when set, every request grows a span tree
+    /// (admit → queue-wait → dispatch, plus whatever the backend and the
+    /// drives' [`DiskSpanBridge`] hang underneath). `None` (the default)
+    /// costs one branch per round.
+    pub spans: Option<SpanRecorder>,
+    /// Windowed time-series sampler config; `None` (the default) records
+    /// no timeline.
+    pub timeline: Option<TimelineConfig>,
 }
 
 impl ServerConfig {
@@ -121,12 +147,26 @@ impl ServerConfig {
             scheduler,
             boundaries: None,
             confidence_threshold: 0.9,
+            spans: None,
+            timeline: None,
         }
     }
 
     /// Sets the boundary table (required for the traxtent scheduler).
     pub fn with_boundaries(mut self, boundaries: ConfidentBoundaries) -> Self {
         self.boundaries = Some(boundaries);
+        self
+    }
+
+    /// Enables causal-span recording into `spans`.
+    pub fn with_spans(mut self, spans: SpanRecorder) -> Self {
+        self.spans = Some(spans);
+        self
+    }
+
+    /// Enables the windowed time-series sampler.
+    pub fn with_timeline(mut self, timeline: TimelineConfig) -> Self {
+        self.timeline = Some(timeline);
         self
     }
 }
@@ -205,6 +245,10 @@ pub struct ServerResult {
     pub wraps: u64,
     /// Instant the last command completed.
     pub sim_end: SimTime,
+    /// The windowed time series, when [`ServerConfig::timeline`] was set.
+    pub timeline: Option<Timeline>,
+    /// The SLO breach summary, when the timeline config carried an SLO.
+    pub slo: Option<SloSummary>,
     /// Time-weighted integral of queue depth, in depth·nanoseconds.
     depth_ns: u128,
 }
@@ -345,18 +389,31 @@ pub fn serve<B: Backend + ?Sized>(
     let mut rejected_ids: Vec<u64> = Vec::new();
     let mut dispatches = 0u64;
     let mut coalesced_requests = 0u64;
+    let spans = cfg.spans.clone();
+    let mut span_buf: Vec<Span> = Vec::new();
+    let mut sampler = cfg.timeline.as_ref().map(Sampler::new);
+    let mut busy_prev = if sampler.is_some() {
+        disk.member_busy_ns()
+    } else {
+        Vec::new()
+    };
     // Exact time-weighted depth integral: advanced to each arrival and
     // each dispatch instant with the depth that held since the previous
     // event. Integer arithmetic keeps it bit-deterministic.
     let mut depth_ns = 0u128;
     let mut last_event = SimTime::ZERO;
-    let mut integrate = |depth: usize, upto: SimTime, last: &mut SimTime| {
-        depth_ns += depth as u128 * u128::from(upto.since(*last).as_ns());
-        *last = upto;
-    };
+    let mut integrate =
+        |depth: usize, upto: SimTime, last: &mut SimTime, sampler: &mut Option<Sampler>| {
+            depth_ns += depth as u128 * u128::from(upto.since(*last).as_ns());
+            if let Some(s) = sampler {
+                s.observe_depth(depth, *last, upto);
+            }
+            *last = upto;
+        };
 
     let mut now = SimTime::ZERO;
     let mut next = 0usize;
+    let mut rounds = 0u64;
     let mut batch: Vec<(Request, SimTime)> = Vec::new();
     let mut results: Vec<Completion> = Vec::new();
 
@@ -364,7 +421,12 @@ pub fn serve<B: Backend + ?Sized>(
         // Admit everything that has arrived by `now`, in trace order.
         while next < records.len() && records[next].arrival <= now {
             let r = &records[next];
-            integrate(queue.len(), r.arrival.max(last_event), &mut last_event);
+            integrate(
+                queue.len(),
+                r.arrival.max(last_event),
+                &mut last_event,
+                &mut sampler,
+            );
             let queued = Queued {
                 id: next as u64,
                 arrival: r.arrival,
@@ -372,6 +434,12 @@ pub fn serve<B: Backend + ?Sized>(
             };
             if queue.offer(queued).is_err() {
                 rejected_ids.push(next as u64);
+                if let Some(s) = &mut sampler {
+                    s.observe_rejection(r.arrival);
+                }
+                if let Some(rec) = &spans {
+                    record_rejection(rec, next as u64, r, queue.limit());
+                }
             }
             next += 1;
         }
@@ -386,13 +454,28 @@ pub fn serve<B: Backend + ?Sized>(
             }
         }
         // One scheduling round, issued at `now`.
-        integrate(queue.len(), now, &mut last_event);
+        integrate(queue.len(), now, &mut last_event, &mut sampler);
         let round = sched.select(queue.entries_mut(), cfg.max_batch);
         assert!(!round.is_empty(), "scheduler made no progress");
         batch.clear();
         batch.extend(round.iter().map(|d| (d.request, now)));
         results.clear();
-        disk.service_batch_into(&batch, &mut results);
+        match &spans {
+            // With spans on, issue the round's commands one at a time so
+            // the drive-level bridge parents each command's spans under
+            // the dispatch span of its primary (first-listed) request.
+            // The batched service path is documented to equal serial
+            // calls, so completions are unchanged.
+            Some(rec) => {
+                for (k, d) in round.iter().enumerate() {
+                    let did = span::derive_id(rec.salt(), span::kind::DISPATCH, d.parts[0].id, 0);
+                    rec.set_context(did, 1);
+                    disk.service_batch_into(&batch[k..k + 1], &mut results);
+                }
+                rec.clear_context();
+            }
+            None => disk.service_batch_into(&batch, &mut results),
+        }
         dispatches += round.len() as u64;
         let mut round_end = now;
         for (d, c) in round.iter().zip(&results) {
@@ -407,8 +490,33 @@ pub fn serve<B: Backend + ?Sized>(
                     completion: c.completion,
                     coalesced: d.coalesced(),
                 });
+                if let Some(s) = &mut sampler {
+                    s.observe_completion(c.completion, c.completion.since(p.arrival).as_ns());
+                }
+            }
+            if let Some(rec) = &spans {
+                record_dispatch(rec, &mut span_buf, d, c, now);
             }
         }
+        if let Some(s) = &mut sampler {
+            let busy = disk.member_busy_ns();
+            let deltas: Vec<u64> = busy
+                .iter()
+                .enumerate()
+                .map(|(m, cur)| cur - busy_prev.get(m).copied().unwrap_or(0))
+                .collect();
+            s.observe_busy(now, round_end, &deltas);
+            busy_prev = busy;
+        }
+        if let Some(rec) = &spans {
+            let id = span::derive_id(rec.salt(), span::kind::ROUND, rounds, 0);
+            let mut r = Span::new(id, 0, "round", 0, now.as_ns(), round_end.as_ns());
+            r.push_attr("sched", cfg.scheduler.label());
+            r.push_attr("cmds", round.len());
+            r.push_attr("parts", round.iter().map(|d| d.parts.len()).sum::<usize>());
+            rec.record(r);
+        }
+        rounds += 1;
         now = round_end;
     }
 
@@ -417,6 +525,13 @@ pub fn serve<B: Backend + ?Sized>(
         .iter()
         .map(|c| c.completion)
         .fold(SimTime::ZERO, SimTime::max);
+    let (timeline, slo) = match sampler {
+        Some(s) => {
+            let (t, slo) = s.finish(sim_end);
+            (Some(t), slo)
+        }
+        None => (None, None),
+    };
     Ok(ServerResult {
         completions,
         rejected_ids,
@@ -425,8 +540,96 @@ pub fn serve<B: Backend + ?Sized>(
         coalesced_requests,
         wraps: sched.wraps(),
         sim_end,
+        timeline,
+        slo,
         depth_ns,
     })
+}
+
+fn op_label(op: Op) -> &'static str {
+    match op {
+        Op::Read => "read",
+        Op::Write => "write",
+    }
+}
+
+/// Records the two-span tree of a rejected arrival.
+fn record_rejection(rec: &SpanRecorder, id: u64, r: &TraceRecord, limit: usize) {
+    let salt = rec.salt();
+    let t = r.arrival.as_ns();
+    let root_id = span::derive_id(salt, span::kind::REQUEST, id, 0);
+    let mut root = Span::new(root_id, 0, "request", 0, t, t);
+    root.push_attr("id", id);
+    root.push_attr("op", op_label(r.request.op));
+    root.push_attr("lbn", r.request.lbn);
+    root.push_attr("len", r.request.len);
+    root.push_attr("rejected", 1);
+    let mut rej = Span::new(
+        span::derive_id(salt, span::kind::REJECT, id, 0),
+        root_id,
+        "reject",
+        0,
+        t,
+        t,
+    );
+    rej.push_attr("queue_limit", limit);
+    rec.record(root);
+    rec.record(rej);
+}
+
+/// Records the server-side spans of every request a dispatched command
+/// served: request root, admit instant, queue wait, and the dispatch
+/// span the drive's spans hang under (via the context set at issue).
+fn record_dispatch(
+    rec: &SpanRecorder,
+    buf: &mut Vec<Span>,
+    d: &Dispatch,
+    c: &Completion,
+    at: SimTime,
+) {
+    let salt = rec.salt();
+    let primary = span::derive_id(salt, span::kind::DISPATCH, d.parts[0].id, 0);
+    let done = c.completion.as_ns();
+    for p in &d.parts {
+        let arr = p.arrival.as_ns();
+        let root_id = span::derive_id(salt, span::kind::REQUEST, p.id, 0);
+        let mut root = Span::new(root_id, 0, "request", 0, arr, done);
+        root.push_attr("id", p.id);
+        root.push_attr("op", op_label(p.request.op));
+        root.push_attr("lbn", p.request.lbn);
+        root.push_attr("len", p.request.len);
+        buf.push(root);
+        buf.push(Span::new(
+            span::derive_id(salt, span::kind::ADMIT, p.id, 0),
+            root_id,
+            "admit",
+            0,
+            arr,
+            arr,
+        ));
+        buf.push(Span::new(
+            span::derive_id(salt, span::kind::QUEUE_WAIT, p.id, 0),
+            root_id,
+            "queue_wait",
+            0,
+            arr,
+            at.as_ns(),
+        ));
+        let did = span::derive_id(salt, span::kind::DISPATCH, p.id, 0);
+        let mut disp = Span::new(did, root_id, "dispatch", 0, at.as_ns(), done);
+        disp.push_attr("cmd_lbn", d.request.lbn);
+        disp.push_attr("cmd_len", d.request.len);
+        if d.coalesced() {
+            disp.push_attr("coalesced", d.parts.len());
+        }
+        if did != primary {
+            // This request rode a coalesced command; the drive's spans
+            // hang under the primary's dispatch span, referenced here.
+            disp.push_attr("primary", format!("{primary:#x}"));
+        }
+        buf.push(disp);
+    }
+    rec.record_all(buf);
 }
 
 #[cfg(test)]

@@ -81,6 +81,11 @@ pub struct Disk {
     /// Next request sequence number for trace events (monotonic for the
     /// life of the drive, surviving [`Disk::reset`]).
     req_seq: u64,
+    /// Cumulative mechanical occupancy (positioning + media) in simulated
+    /// nanoseconds, surviving [`Disk::reset`] like `req_seq`. Cache hits
+    /// contribute nothing; bus delivery overlapped with the next command's
+    /// positioning is excluded, so windowed busy fractions stay ≤ 1.
+    busy_ns: u64,
     /// Reused trace-event buffer: a request's events are batched here and
     /// delivered to the sink under one lock acquisition.
     trace_scratch: Vec<TraceEvent>,
@@ -140,6 +145,7 @@ impl Disk {
             visit_scratch: Vec::new(),
             slot_scratch: Vec::new(),
             req_seq: 0,
+            busy_ns: 0,
             trace_scratch: Vec::new(),
             fault_stats: FaultStats::default(),
         }
@@ -174,6 +180,14 @@ impl Disk {
     /// commands use it to clamp per-member issue times.
     pub fn last_issue(&self) -> SimTime {
         self.last_issue
+    }
+
+    /// Cumulative mechanical occupancy in simulated nanoseconds: the sum of
+    /// `media_end − service_start` over every serviced command. Monotonic
+    /// for the life of the drive (surviving [`Disk::reset`]); upper layers
+    /// poll it to derive windowed per-member busy fractions.
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns
     }
 
     /// The spindle.
@@ -413,6 +427,7 @@ impl Disk {
                 self.service_write(req, issue, cmd_ready, breakdown, trc)
             }
         };
+        self.busy_ns += completion.media_end.since(completion.service_start).as_ns();
 
         if tracing {
             let b = completion.breakdown;
@@ -1051,6 +1066,31 @@ mod tests {
         // But track 1 is not.
         let c3 = d.service(Request::read(200, 10), c2.completion);
         assert!(!c3.cache_hit);
+    }
+
+    #[test]
+    fn busy_ns_accumulates_mechanical_time_and_survives_reset() {
+        let mut d = test_disk(true, BusConfig::infinite());
+        assert_eq!(d.busy_ns(), 0);
+        let c = d.service(Request::read(0, 100), SimTime::ZERO);
+        let expect = c.media_end.since(c.service_start).as_ns();
+        assert!(expect > 0);
+        assert_eq!(d.busy_ns(), expect);
+        // A cache hit does no mechanical work.
+        let h = d.service(Request::read(0, 100), c.completion);
+        assert!(h.cache_hit);
+        assert_eq!(d.busy_ns(), expect);
+        d.reset();
+        assert_eq!(
+            d.busy_ns(),
+            expect,
+            "occupancy is for the life of the drive"
+        );
+        let c2 = d.service(Request::read(5000, 100), SimTime::ZERO);
+        assert_eq!(
+            d.busy_ns(),
+            expect + c2.media_end.since(c2.service_start).as_ns()
+        );
     }
 
     #[test]

@@ -597,6 +597,28 @@ impl TraceEvent {
     }
 }
 
+/// The kind tag of an otherwise well-formed flat JSONL line, whether or
+/// not this library version recognizes it.
+///
+/// [`TraceEvent::parse_json`] rejects event kinds introduced after this
+/// version, and rejects causal-span records (`{"span": ...}` lines from
+/// `traxtent::obs::span`) outright. Report tooling uses this helper to
+/// distinguish a well-formed line of an unrecognized kind — count it and
+/// move on — from genuine corruption, which still marks the trace as
+/// truncated. Returns the `ev` field's value, `span:<name>` for span
+/// records, and `None` when the line is not a flat object carrying
+/// either tag.
+pub fn peek_event_name(line: &str) -> Option<String> {
+    let fields = parse_flat_object(line).ok()?;
+    let text_field = |wanted: &str| {
+        fields.iter().find_map(|(key, value)| match value {
+            JsonValue::Str(s) if key == wanted => Some(s.clone()),
+            _ => None,
+        })
+    };
+    text_field("ev").or_else(|| text_field("span").map(|name| format!("span:{name}")))
+}
+
 /// A decoded flat-JSON value: the only three shapes the trace schema uses.
 enum JsonValue {
     Num(u64),
@@ -820,6 +842,32 @@ impl TraceSink for Fanout {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn peek_event_name_reads_known_unknown_and_span_kinds() {
+        assert_eq!(
+            peek_event_name(r#"{"ev": "seek", "req": 1, "t": 2, "dur": 3, "cyls": 4}"#).as_deref(),
+            Some("seek")
+        );
+        assert_eq!(
+            peek_event_name(r#"{"ev": "from_the_future", "req": 1}"#).as_deref(),
+            Some("from_the_future"),
+            "unknown kinds are still identifiable"
+        );
+        assert_eq!(
+            peek_event_name(
+                r#"{"span":"vol_cmd","id":7,"parent":1,"track":2,"start":0,"end":9,"attrs":""}"#
+            )
+            .as_deref(),
+            Some("span:vol_cmd")
+        );
+        assert_eq!(peek_event_name("garbage"), None);
+        assert_eq!(
+            peek_event_name(r#"{"req": 1, "t": 2}"#),
+            None,
+            "no kind tag"
+        );
+    }
 
     fn samples() -> Vec<TraceEvent> {
         vec![

@@ -16,6 +16,9 @@
 //!   burstiness;
 //! * [`diurnal_trace`] — several tenants with sinusoidally modulated
 //!   rates and disjoint address regions, a daily-cycle multi-tenant mix;
+//! * [`ramp_trace`] — a linearly increasing arrival rate, for driving a
+//!   server from idle through its saturation knee in one run (the
+//!   timeline telemetry's natural test signal);
 //! * [`stream_trace`] — N concurrent video-style clients issuing
 //!   sequential track-aligned chunk reads/writes on a fixed period, the
 //!   track-aligned workload where the traxtent scheduler should win.
@@ -253,6 +256,64 @@ pub fn diurnal_trace(spec: &DiurnalSpec) -> Vec<TraceRecord> {
     records
 }
 
+/// Spec for [`ramp_trace`]: a linearly ramping arrival rate.
+#[derive(Debug, Clone)]
+pub struct RampSpec {
+    /// Arrival rate at t = 0, requests per second.
+    pub start_rate_per_sec: f64,
+    /// Arrival rate at `duration_ms`, requests per second.
+    pub end_rate_per_sec: f64,
+    /// Trace length, milliseconds.
+    pub duration_ms: f64,
+    /// Drive capacity; request starts are uniform below it.
+    pub capacity_lbns: u64,
+    /// Sectors per request.
+    pub io_sectors: u64,
+    /// Probability a request is a read.
+    pub read_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generates a linearly ramping Poisson process per [`RampSpec`].
+///
+/// The instantaneous rate interpolates from `start_rate_per_sec` to
+/// `end_rate_per_sec` across the duration, realized by thinning a
+/// homogeneous process at the faster of the two endpoint rates (so the
+/// ramp may also descend). One run walks the server from an idle queue
+/// through its saturation knee — the signal the windowed timeline
+/// sampler and SLO burn-rate monitor are built to resolve.
+pub fn ramp_trace(spec: &RampSpec) -> Vec<TraceRecord> {
+    assert!(
+        spec.start_rate_per_sec > 0.0 && spec.end_rate_per_sec > 0.0,
+        "ramp endpoint rates must be positive"
+    );
+    let peak = spec.start_rate_per_sec.max(spec.end_rate_per_sec);
+    let dur_ns = (spec.duration_ms * 1e6) as u64;
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut records = Vec::new();
+    let mut t_ns = 0u64;
+    loop {
+        t_ns += exp_gap_ns(&mut rng, peak);
+        if t_ns > dur_ns {
+            break;
+        }
+        let frac = t_ns as f64 / dur_ns as f64;
+        let rate =
+            spec.start_rate_per_sec + frac * (spec.end_rate_per_sec - spec.start_rate_per_sec);
+        if rng.gen::<f64>() >= rate / peak {
+            continue;
+        }
+        let lbn = draw_lbn(&mut rng, spec.capacity_lbns, spec.io_sectors);
+        let op = draw_op(&mut rng, spec.read_fraction);
+        records.push(TraceRecord {
+            arrival: SimTime::from_ns(t_ns),
+            request: Request::new(op, lbn, spec.io_sectors),
+        });
+    }
+    records
+}
+
 /// Spec for [`stream_trace`]: N concurrent sequential-stream clients.
 #[derive(Debug, Clone)]
 pub struct StreamsSpec {
@@ -454,6 +515,49 @@ mod tests {
         assert!(
             a_frac > b_frac + 0.2,
             "phase separation visible: A={a_frac:.2} vs B={b_frac:.2}"
+        );
+    }
+
+    #[test]
+    fn ramp_rate_rises_across_the_run() {
+        let spec = RampSpec {
+            start_rate_per_sec: 50.0,
+            end_rate_per_sec: 450.0,
+            duration_ms: 8000.0,
+            capacity_lbns: 1_000_000,
+            io_sectors: 64,
+            read_fraction: 0.6,
+            seed: 13,
+        };
+        let trace = ramp_trace(&spec);
+        assert!(!trace.is_empty());
+        for w in trace.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+        for r in &trace {
+            assert_eq!(r.arrival.as_ns() % 1000, 0, "arrivals are µs-quantized");
+        }
+        // Realized counts per half track the rate integral: the second
+        // half's mean rate (350/s) is 2.33× the first half's (150/s).
+        let half = SimTime::from_ns(4_000 * 1_000_000);
+        let first = trace.iter().filter(|r| r.arrival < half).count() as f64;
+        let second = trace.len() as f64 - first;
+        let ratio = second / first;
+        assert!(
+            (ratio - 350.0 / 150.0).abs() < 0.35,
+            "half-to-half ratio {ratio:.2}, expected ~2.33"
+        );
+        // A descending ramp works too and lands near its own integral.
+        let down = ramp_trace(&RampSpec {
+            start_rate_per_sec: 450.0,
+            end_rate_per_sec: 50.0,
+            ..spec
+        });
+        let expect = 250.0 * 8.0; // mean rate × seconds
+        assert!(
+            (down.len() as f64 - expect).abs() / expect < 0.1,
+            "descending ramp generated {} arrivals, expected ~{expect}",
+            down.len()
         );
     }
 
