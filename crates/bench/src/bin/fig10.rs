@@ -50,7 +50,10 @@ fn main() {
         let cap = capacity.max(sectors * 32);
         let upd = updates.max(cap * 2);
         let mut sim = LfsSim::fixed(cap, sectors, lfs_cfg);
-        let wc = sim.run_updates(upd).write_cost();
+        let wc = sim
+            .run_updates(upd)
+            .expect("steady-state workload never breaks segment accounting")
+            .write_cost();
         sim.export_metrics(&reg);
         let ti_a = transfer_inefficiency(&cfg, sectors, true, ti_samples, cli.seed);
         let ti_u = transfer_inefficiency(&cfg, sectors, false, ti_samples, cli.seed);

@@ -20,10 +20,12 @@
 
 pub mod error;
 pub mod general;
+pub mod heal;
 pub mod scsi_probe;
 
 pub use error::ExtractError;
 pub use general::{extract_general, GeneralConfig, GeneralExtraction};
+pub use heal::{HealConfig, HealReport, Healer};
 pub use scsi_probe::{extract_scsi, SchemeGuess, ScsiExtraction};
 
 use scsi::ScsiDisk;

@@ -10,7 +10,9 @@
 //! workload's run time is measured.
 
 use crate::cache::BufferCache;
+use crate::image;
 use crate::layout::{Layout, Personality, BLOCKS_PER_GROUP, BLOCK_SECTORS, BYTES_PER_BLOCK};
+use sim_disk::crash::SectorImage;
 use sim_disk::disk::{Disk, Request};
 use sim_disk::{SimDur, SimTime};
 use std::collections::HashMap;
@@ -20,6 +22,13 @@ use std::fmt;
 /// Identifies an open file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FileId(u64);
+
+impl FileId {
+    /// The raw id (as recorded in on-media inodes).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
 
 /// Errors from file-system operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +59,62 @@ impl fmt::Display for FsError {
 }
 
 impl Error for FsError {}
+
+/// A condition the crash shadow could not represent on media. The
+/// shadow latches the first one rather than failing the (infallible)
+/// file-system call that hit it; crash harnesses check
+/// [`FileSystem::shadow_error`] before trusting an image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShadowError {
+    /// A group ran out of inode slots; the new file exists in memory but
+    /// never reaches media.
+    InodeSlotsFull {
+        /// The block group whose slots filled.
+        group: u64,
+    },
+    /// A file fragmented past what one inode sector can describe; its
+    /// on-media extent list is truncated.
+    TooManyExtents {
+        /// The file's raw id.
+        id: u64,
+        /// How many extents it actually has.
+        have: usize,
+    },
+}
+
+impl fmt::Display for ShadowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShadowError::InodeSlotsFull { group } => {
+                write!(f, "group {group} has no free inode slots")
+            }
+            ShadowError::TooManyExtents { id, have } => write!(
+                f,
+                "file {id} spans {have} extents; its on-media inode is truncated"
+            ),
+        }
+    }
+}
+
+impl Error for ShadowError {}
+
+/// On-media bookkeeping for crash simulation: which inode slot each file
+/// occupies, per-group metadata generations, and the content salt for
+/// synthesized data payloads. Present only when the crash shadow is
+/// enabled; the default timing-only path never allocates one.
+#[derive(Debug)]
+struct Shadow {
+    /// Salt mixed into synthesized data-sector contents.
+    salt: u64,
+    /// Monotonic data-write counter (distinguishes overwrites).
+    seq: u64,
+    /// Metadata generation per on-media group.
+    generations: Vec<u64>,
+    /// Inode slot occupancy per inode-bearing group.
+    slots: Vec<[Option<FileId>; image::INODE_SLOTS]>,
+    /// First unrepresentable condition hit, if any.
+    error: Option<ShadowError>,
+}
 
 /// Aggregate I/O statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -103,6 +168,8 @@ pub struct FileSystem {
     stats: FsStats,
     /// Cap on clustered transfers, in blocks (32 in FreeBSD).
     cluster_cap: u64,
+    /// Crash-consistency shadow (None on the default timing-only path).
+    shadow: Option<Box<Shadow>>,
 }
 
 impl FileSystem {
@@ -142,7 +209,164 @@ impl FileSystem {
             next_id: 1,
             stats: FsStats::default(),
             cluster_cap: 32,
+            shadow: None,
         }
+    }
+
+    /// Turns on crash simulation: reserves each group's metadata block,
+    /// attaches a crash log to the drive, and starts carrying an
+    /// on-media payload (the [`crate::image`] format for metadata,
+    /// salted patterns for data) on every write the file system issues.
+    /// Data contents are synthesized from `salt`, so two runs with the
+    /// same salt and workload produce bit-identical media.
+    ///
+    /// Call immediately after formatting, before any file exists — data
+    /// allocated before the reservation could sit where metadata writes
+    /// land.
+    ///
+    /// # Panics
+    ///
+    /// Panics if files already exist.
+    pub fn enable_crash_shadow(&mut self, salt: u64) {
+        assert!(
+            self.files.is_empty(),
+            "enable the crash shadow on a freshly formatted file system"
+        );
+        self.layout.reserve_group_metadata();
+        self.disk.enable_crash_log();
+        let groups = image::ngroups(self.layout.blocks()) as usize;
+        let inode_groups = (self.layout.blocks() / BLOCKS_PER_GROUP) as usize;
+        self.shadow = Some(Box::new(Shadow {
+            salt,
+            seq: 0,
+            generations: vec![0; groups],
+            slots: vec![[None; image::INODE_SLOTS]; inode_groups],
+            error: None,
+        }));
+    }
+
+    /// The first condition the crash shadow could not put on media, if
+    /// any. A harness that sees `Some` should discard the run (the
+    /// on-media image no longer tracks the in-memory state).
+    pub fn shadow_error(&self) -> Option<ShadowError> {
+        self.shadow.as_ref().and_then(|s| s.error)
+    }
+
+    /// The clean on-media image as of now: every group's metadata block
+    /// encoded at its current generation, no data sectors. Captured right
+    /// after [`enable_crash_shadow`](Self::enable_crash_shadow) it is the
+    /// mkfs state a crash replay starts from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the crash shadow is not enabled.
+    pub fn format_image(&self) -> SectorImage {
+        let sh = self.shadow.as_ref().expect("crash shadow not enabled");
+        let mut img = SectorImage::new();
+        for g in 0..image::ngroups(self.layout.blocks()) {
+            let (bytes, _) = self.group_meta_bytes(sh, g, sh.generations[g as usize]);
+            let base = image::meta_lbn(g);
+            for (i, chunk) in bytes.chunks(sim_disk::crash::SECTOR_USIZE).enumerate() {
+                let mut s = [0u8; sim_disk::crash::SECTOR_USIZE];
+                s.copy_from_slice(chunk);
+                img.write(base + i as u64, &s);
+            }
+        }
+        img
+    }
+
+    /// Writes every group's metadata block synchronously (the periodic
+    /// metadata checkpoint a real FFS performs). Inodes and bitmaps not
+    /// checkpointed — here or by a create/delete — since their last
+    /// change are stale on media and it is fsck's job to reconcile them
+    /// after a crash. Returns the clock at completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the crash shadow is not enabled (without it the write
+    /// would carry no payload and the checkpoint would be meaningless).
+    pub fn checkpoint_metadata(&mut self) -> SimTime {
+        assert!(self.shadow.is_some(), "crash shadow not enabled");
+        for g in 0..image::ngroups(self.layout.blocks()) {
+            let c = self.disk.service(
+                Request::write(image::meta_lbn(g), BLOCK_SECTORS),
+                self.clock,
+            );
+            self.stats.disk_writes += 1;
+            self.stats.sectors_written += BLOCK_SECTORS;
+            self.clock = c.completion;
+            self.attach_group_payload(g);
+        }
+        self.clock
+    }
+
+    /// Encodes group `g`'s metadata block at `generation` from the
+    /// current in-memory state. Files too fragmented for one inode
+    /// sector are truncated on media and reported in the second return.
+    fn group_meta_bytes(
+        &self,
+        sh: &Shadow,
+        g: u64,
+        generation: u64,
+    ) -> (Vec<u8>, Option<ShadowError>) {
+        let base = g * BLOCKS_PER_GROUP;
+        let alloc: Vec<bool> = (0..image::group_blocks(g, self.layout.blocks()))
+            .map(|i| !self.layout.is_free(base + i))
+            .collect();
+        let mut slots: Vec<Option<image::InodeRec>> = vec![None; image::INODE_SLOTS];
+        let mut err = None;
+        if let Some(owners) = sh.slots.get(g as usize) {
+            for (si, owner) in owners.iter().enumerate() {
+                let Some(fid) = owner else { continue };
+                let inode = &self.files[fid];
+                let mut extents = image::extents_of(&inode.blocks);
+                if extents.len() > image::MAX_EXTENTS {
+                    err = Some(ShadowError::TooManyExtents {
+                        id: fid.0,
+                        have: extents.len(),
+                    });
+                    extents.truncate(image::MAX_EXTENTS);
+                }
+                slots[si] = Some(image::InodeRec {
+                    id: fid.0,
+                    size_bytes: inode.size_bytes,
+                    extents,
+                });
+            }
+        }
+        let bytes = image::encode_group(g, generation, &alloc, &slots)
+            .expect("extent lists are clamped to MAX_EXTENTS");
+        (bytes, err)
+    }
+
+    /// Attaches group `g`'s freshly encoded metadata block as the payload
+    /// of the metadata write just issued, bumping its generation. No-op
+    /// without the shadow.
+    fn attach_group_payload(&mut self, g: u64) {
+        let Some(sh) = self.shadow.as_deref() else {
+            return;
+        };
+        let generation = sh.generations[g as usize] + 1;
+        let (bytes, err) = self.group_meta_bytes(sh, g, generation);
+        let sh = self.shadow.as_deref_mut().expect("checked above");
+        sh.generations[g as usize] = generation;
+        if let Some(e) = err {
+            sh.error.get_or_insert(e);
+        }
+        self.disk.note_write_payload(&bytes);
+    }
+
+    /// Attaches a synthesized data payload (salted by the write sequence
+    /// number, so overwrites are distinguishable) to the data write just
+    /// issued. No-op without the shadow.
+    fn attach_data_payload(&mut self, lbn: u64, sectors: u64) {
+        let Some(sh) = self.shadow.as_deref_mut() else {
+            return;
+        };
+        sh.seq += 1;
+        let salt = sh.salt ^ sh.seq.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let bytes = sim_disk::crash::pattern_payload(salt, lbn, sectors);
+        self.disk.note_write_payload(&bytes);
     }
 
     /// Replaces the buffer cache with one of `blocks` blocks (dropping the
@@ -208,6 +432,24 @@ impl FileSystem {
         &self.disk
     }
 
+    /// The disk, mutably (crash harnesses detach its log with
+    /// [`Disk::take_crash_log`]).
+    pub fn disk_mut(&mut self) -> &mut Disk {
+        &mut self.disk
+    }
+
+    /// Every live file as `(id, size_bytes, blocks)`, in id order — the
+    /// in-memory truth crash harnesses compare recovered images against.
+    pub fn live_files(&self) -> Vec<(FileId, u64, Vec<u64>)> {
+        let mut out: Vec<_> = self
+            .files
+            .iter()
+            .map(|(id, inode)| (*id, inode.size_bytes, inode.blocks.clone()))
+            .collect();
+        out.sort_by_key(|&(id, _, _)| id);
+        out
+    }
+
     /// The size of a file in bytes.
     ///
     /// # Errors
@@ -237,6 +479,16 @@ impl FileSystem {
                 nonseq_seen: false,
             },
         );
+        if let Some(sh) = self.shadow.as_deref_mut() {
+            let g = (id.0 % (self.layout.blocks() / BLOCKS_PER_GROUP)) as usize;
+            match sh.slots[g].iter_mut().find(|s| s.is_none()) {
+                Some(slot) => *slot = Some(id),
+                None => {
+                    sh.error
+                        .get_or_insert(ShadowError::InodeSlotsFull { group: g as u64 });
+                }
+            }
+        }
         self.metadata_write(id);
         id
     }
@@ -254,6 +506,14 @@ impl FileSystem {
             self.inflight.remove(&b);
             self.layout.release(b);
         }
+        if let Some(sh) = self.shadow.as_deref_mut() {
+            let g = (file.0 % (self.layout.blocks() / BLOCKS_PER_GROUP)) as usize;
+            for slot in sh.slots[g].iter_mut() {
+                if *slot == Some(file) {
+                    *slot = None;
+                }
+            }
+        }
         self.metadata_write(file);
         Ok(())
     }
@@ -269,6 +529,7 @@ impl FileSystem {
         self.stats.disk_writes += 1;
         self.stats.sectors_written += BLOCK_SECTORS;
         self.clock = c.completion;
+        self.attach_group_payload(group);
     }
 
     /// Reads `len` bytes at `offset`. Returns when the data is available
@@ -504,6 +765,7 @@ impl FileSystem {
             .service(Request::write(lbn, len * BLOCK_SECTORS), self.clock);
         self.stats.disk_writes += 1;
         self.stats.sectors_written += len * BLOCK_SECTORS;
+        self.attach_data_payload(lbn, len * BLOCK_SECTORS);
         for b in start..start + len {
             self.cache.mark_clean(b);
         }
@@ -518,6 +780,7 @@ impl FileSystem {
             .service(Request::write(lbn, BLOCK_SECTORS), self.clock);
         self.stats.disk_writes += 1;
         self.stats.sectors_written += BLOCK_SECTORS;
+        self.attach_data_payload(lbn, BLOCK_SECTORS);
     }
 
     /// Flushes all dirty data and waits for the disk to go idle. Returns

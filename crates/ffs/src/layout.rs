@@ -229,6 +229,23 @@ impl Layout {
         b / BLOCKS_PER_GROUP
     }
 
+    /// Reserves the first block of every group for on-media metadata (the
+    /// crash-consistency image format of [`crate::image`]), so data
+    /// allocations never land where metadata writes go. Opt-in: the
+    /// default timing-only figures never call this, keeping their layouts
+    /// (and results) bit-identical. Idempotent; a metadata block that is
+    /// already excluded or allocated is left as is (it is unavailable to
+    /// data either way).
+    pub fn reserve_group_metadata(&mut self) {
+        let mut b = 0;
+        while b < self.blocks {
+            if self.free[b as usize] {
+                self.take(b);
+            }
+            b += BLOCKS_PER_GROUP;
+        }
+    }
+
     /// Marks a block allocated.
     ///
     /// # Panics
@@ -582,6 +599,25 @@ mod tests {
         assert_eq!(s.sequential, 1);
         assert_eq!(s.track_aligned, 0);
         assert_eq!(s.fallback, 1);
+    }
+
+    #[test]
+    fn metadata_reservation_pins_group_heads() {
+        let mut l = layout(Personality::Unmodified);
+        let before = l.free_blocks();
+        l.reserve_group_metadata();
+        let groups = l.blocks().div_ceil(BLOCKS_PER_GROUP);
+        assert_eq!(l.free_blocks(), before - groups);
+        let mut b = 0;
+        while b < l.blocks() {
+            assert!(!l.is_free(b), "metadata block {b} still free");
+            b += BLOCKS_PER_GROUP;
+        }
+        // Idempotent, and allocations skip the reserved heads.
+        l.reserve_group_metadata();
+        assert_eq!(l.free_blocks(), before - groups);
+        let a = l.alloc_next(None, 4).expect("space");
+        assert_ne!(a, 0);
     }
 
     #[test]

@@ -15,12 +15,22 @@
 //! The file system tracks real metadata (inodes, per-group bitmaps, buffer
 //! cache) but not user data bytes: workloads only need faithful I/O timing,
 //! which comes from the shared [`sim_disk::Disk`].
+//!
+//! For crash-consistency experiments the timing model can additionally
+//! carry a byte-level on-media shadow
+//! ([`FileSystem::enable_crash_shadow`]): metadata writes then encode the
+//! [`image`] format, a power cut resolves to a concrete [`sim_disk::crash`]
+//! image, and [`fsck()`](fsck::fsck) verifies or repairs it back to a
+//! mountable state.
 
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod fs;
+pub mod fsck;
+pub mod image;
 pub mod layout;
 
-pub use fs::{FileId, FileSystem, FsError, FsStats};
+pub use fs::{FileId, FileSystem, FsError, FsStats, ShadowError};
+pub use fsck::{fsck, mount, FsckReport, MountError, RecoveredFile, RecoveredFs};
 pub use layout::{Layout, Personality, BLOCK_SECTORS, BYTES_PER_BLOCK};

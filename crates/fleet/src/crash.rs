@@ -1,0 +1,146 @@
+//! Power-cut capture and resolution for a whole volume.
+//!
+//! A logical volume write fans out into several member commands — data
+//! and parity for RAID-5, one command per copy for a mirror — and a
+//! power cut can land between them (or tear any single command across
+//! sectors). That is the classic RAID *write hole*: after the cut, some
+//! columns hold the new write and others the old one, and the
+//! redundancy invariant is silently broken until something reads the
+//! stripe.
+//!
+//! [`Volume::arm_crash`] snapshots every member's data plane and arms
+//! each member drive's [`sim_disk::crash`] log; from then on every
+//! member write carries its byte payload and per-sector durability
+//! instants. [`Volume::power_cut`] then resolves an arbitrary cut
+//! instant to the exact durable state of every member — each store is
+//! rebuilt from its replayed image — and reports how many commands were
+//! torn or lost. The volume keeps serving from that state;
+//! [`Volume::scrub_repair`] is the pass that finds and closes the
+//! resulting write holes.
+
+use crate::data::SectorStore;
+use crate::volume::Volume;
+use sim_disk::crash::{replay, CrashError, SectorImage};
+use sim_disk::SimTime;
+
+/// What a [`Volume::power_cut`] resolution found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PowerCutReport {
+    /// The cut instant.
+    pub cut: SimTime,
+    /// Write commands each member had logged by the cut.
+    pub member_writes: Vec<u64>,
+    /// Commands with *some but not all* sectors durable at the cut —
+    /// torn mid-transfer by the firmware.
+    pub torn_writes: u64,
+    /// Commands with no durable sector at all (issued, never reached
+    /// media).
+    pub lost_writes: u64,
+}
+
+impl Volume {
+    /// Arms power-cut capture: snapshots every member's current data
+    /// plane as the replay base and enables each member drive's crash
+    /// log. Timing is unchanged — an armed run is bit-identical to an
+    /// unarmed one. Idempotent.
+    pub fn arm_crash(&mut self) {
+        if self.crash_base.is_some() {
+            return;
+        }
+        let mut base = Vec::with_capacity(self.members.len());
+        for m in &mut self.members {
+            let mut img = SectorImage::new();
+            for pba in 0..m.store.capacity() {
+                let w = m.store.word(pba);
+                if w != 0 {
+                    img.set_word(pba, w);
+                }
+            }
+            m.disk.enable_crash_log();
+            base.push(img);
+        }
+        self.crash_base = Some(base);
+    }
+
+    /// Whether power-cut capture is armed.
+    pub fn crash_armed(&self) -> bool {
+        self.crash_base.is_some()
+    }
+
+    /// Read-only view of member `m`'s crash log (`None` before
+    /// [`Volume::arm_crash`]). Sweeps use the logged per-sector durable
+    /// instants to aim cuts at interesting places — mid-transfer, between
+    /// a data write and its parity write.
+    pub fn member_crash_log(&self, m: usize) -> Option<&sim_disk::crash::CrashLog> {
+        self.members[m].disk.crash_log()
+    }
+
+    /// The latest durable instant across all member crash logs: cutting
+    /// at or after this loses nothing.
+    pub fn crash_horizon(&self) -> SimTime {
+        self.members
+            .iter()
+            .filter_map(|m| m.disk.crash_log())
+            .map(|l| l.horizon())
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Loses power at `cut`: every member's data plane is replaced by
+    /// exactly what its media durably held at that instant (later and
+    /// torn-away sectors revert to the armed snapshot), member drives
+    /// power-cycle back to their reset state, and capture is disarmed.
+    /// Failed members stay failed — a power cut does not resurrect dead
+    /// platters.
+    ///
+    /// The redundancy invariant is NOT restored: a cut that lands inside
+    /// a logical write leaves the write hole on media, which is the
+    /// point. Run [`Volume::scrub_repair`] to close it.
+    ///
+    /// # Errors
+    ///
+    /// [`CrashError::MissingPayload`] if a logged write never had its
+    /// bytes attached (an internal contract violation — every volume
+    /// write path attaches payloads while armed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if capture was never armed.
+    pub fn power_cut(&mut self, cut: SimTime) -> Result<PowerCutReport, CrashError> {
+        let base = self
+            .crash_base
+            .take()
+            .expect("power_cut requires arm_crash");
+        let mut member_writes = Vec::with_capacity(self.members.len());
+        let mut torn = 0u64;
+        let mut lost = 0u64;
+        for (i, (m, base_img)) in self.members.iter_mut().zip(base).enumerate() {
+            let log = m.disk.take_crash_log().expect("armed member logs writes");
+            for rec in &log.records {
+                let durable = rec.durable_count(cut);
+                if durable == 0 {
+                    lost += 1;
+                } else if rec.torn_at(cut) {
+                    torn += 1;
+                }
+            }
+            member_writes.push(log.len() as u64);
+            let img = replay(&base_img, &log, cut)?;
+            let mut store = SectorStore::new(m.store.capacity());
+            for (lbn, _) in img.iter() {
+                store.set_word(lbn, img.word(lbn));
+            }
+            if !m.healthy {
+                store.scramble(i as u64);
+            }
+            m.store = store;
+            m.disk.reset();
+        }
+        Ok(PowerCutReport {
+            cut,
+            member_writes,
+            torn_writes: torn,
+            lost_writes: lost,
+        })
+    }
+}

@@ -62,17 +62,19 @@
 
 #![warn(missing_docs)]
 
+pub mod crash;
 pub mod data;
 pub mod layout;
 pub mod rebuild;
 pub mod volume;
 
+pub use crash::PowerCutReport;
 pub use data::{fill_stores, pattern_word, reconstruct_unit, SectorStore};
 pub use layout::{
     stripe_units, Chunk, LogicalUnit, RoundInfo, StripePolicy, StripeUnit, VolumeKind, VolumeLayout,
 };
-pub use rebuild::{RebuildReport, ScrubReport};
-pub use volume::{member_boundaries, Volume, VolumeCompletion, VolumeStats};
+pub use rebuild::{RebuildReport, RepairReport, ScrubReport};
+pub use volume::{member_boundaries, Volume, VolumeCompletion, VolumeStats, FAULT_RETRIES};
 
 use std::error::Error;
 use std::fmt;
@@ -129,6 +131,15 @@ pub enum FleetError {
         /// The unhealthy peer blocking the rebuild.
         member: usize,
     },
+    /// A healthy member kept surfacing transient command faults until the
+    /// volume's retry budget ran out. Write paths report this instead of
+    /// committing a partial stripe.
+    RetriesExhausted {
+        /// The member that would not take the command.
+        member: usize,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for FleetError {
@@ -167,6 +178,12 @@ impl fmt::Display for FleetError {
                 write!(
                     f,
                     "rebuild needs every peer healthy; member {member} is not"
+                )
+            }
+            FleetError::RetriesExhausted { member, attempts } => {
+                write!(
+                    f,
+                    "member {member} kept faulting; gave up after {attempts} attempts"
                 )
             }
         }

@@ -28,6 +28,22 @@ pub struct RebuildReport {
     pub finished: SimTime,
 }
 
+/// What a [`Volume::scrub_repair`] pass fixed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Sectors whose redundancy was cross-checked.
+    pub checked_sectors: u64,
+    /// Sectors found violating the redundancy invariant (divergent
+    /// mirror copies, parity not matching its data columns).
+    pub mismatched_sectors: u64,
+    /// Sectors rewritten to restore the invariant.
+    pub repaired_sectors: u64,
+    /// When the first verify read was issued.
+    pub started: SimTime,
+    /// When the last repair write completed.
+    pub finished: SimTime,
+}
+
 /// What a [`Volume::scrub`] pass verified.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScrubReport {
@@ -112,6 +128,7 @@ impl Volume {
                     self.members[source]
                         .store
                         .read_into(pstart, len, &mut words);
+                    self.members[i].note_words(&words);
                     self.members[i].store.write(pstart, &words);
                     t = w.completion;
                     units += 1;
@@ -144,6 +161,7 @@ impl Volume {
                     let w = self.members[i]
                         .issue(Request::write(dst, info.len), reads_done)
                         .map_err(|_| FleetError::Unrecoverable { member: i })?;
+                    self.members[i].note_words(&words);
                     self.members[i].store.write(dst, &words);
                     t = w.completion;
                     units += 1;
@@ -239,5 +257,150 @@ impl Volume {
             checked_sectors: checked,
             mismatches,
         }
+    }
+
+    /// The write-hole closer: a timed background scan that verifies the
+    /// redundancy invariant with real member reads and *repairs* every
+    /// violation it finds — the pass a RAID controller runs after a
+    /// power cut, when a logical write may have updated some copies (or
+    /// the data column) without the others (or the parity column).
+    ///
+    /// * **RAID-5** — per stripe round, read every column and XOR them;
+    ///   a nonzero syndrome means the parity no longer covers its data,
+    ///   so the parity unit is recomputed from the data columns and
+    ///   rewritten. Data columns are never touched: whichever of the old
+    ///   and new data survived the cut is durable, the parity must
+    ///   follow it.
+    /// * **RAID-1** — copies are compared against the lowest-index
+    ///   healthy member and divergent copies are rewritten from it (the
+    ///   classic md-style resync: one copy is designated authoritative;
+    ///   both sides of a torn write are durable states, the repair just
+    ///   has to pick one deterministically).
+    /// * **RAID-0** — nothing to cross-check.
+    ///
+    /// Totals land in `reg` as `fleet.scrub.repair_passes`,
+    /// `fleet.scrub.mismatched_sectors`, and
+    /// `fleet.scrub.repaired_sectors`.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::DegradedPeer`] if any member is failed (rebuild it
+    /// first — repair needs every column), and
+    /// [`FleetError::RetriesExhausted`] if a member will not take a
+    /// verify read or repair write within the retry budget.
+    pub fn scrub_repair(
+        &mut self,
+        reg: &Registry,
+        at: SimTime,
+    ) -> Result<RepairReport, FleetError> {
+        if let Some(peer) = self.failed_members().first().copied() {
+            return Err(FleetError::DegradedPeer { member: peer });
+        }
+        let exhausted = |member: usize| FleetError::RetriesExhausted {
+            member,
+            attempts: crate::volume::FAULT_RETRIES,
+        };
+        let mut t = at;
+        let mut checked = 0u64;
+        let mut mismatched = 0u64;
+        let mut repaired = 0u64;
+        match self.layout.kind() {
+            VolumeKind::Striped => {}
+            VolumeKind::Mirrored => {
+                let reference = 0;
+                let steps: Vec<(u64, u64)> = self
+                    .layout
+                    .units()
+                    .iter()
+                    .map(|u| (u.pstart, u.len))
+                    .collect();
+                for (pstart, len) in steps {
+                    let r = self.members[reference]
+                        .issue(Request::read(pstart, len), t)
+                        .map_err(|_| exhausted(reference))?;
+                    t = t.max(r.completion);
+                    self.stats.member_cmds += 1;
+                    let mut words = Vec::with_capacity(len as usize);
+                    self.members[reference]
+                        .store
+                        .read_into(pstart, len, &mut words);
+                    for m in 1..self.members.len() {
+                        let r = self.members[m]
+                            .issue(Request::read(pstart, len), t)
+                            .map_err(|_| exhausted(m))?;
+                        t = t.max(r.completion);
+                        self.stats.member_cmds += 1;
+                        checked += len;
+                        let diverged = (0..len)
+                            .filter(|&o| {
+                                self.members[m].store.word(pstart + o) != words[o as usize]
+                            })
+                            .count() as u64;
+                        if diverged == 0 {
+                            continue;
+                        }
+                        mismatched += diverged;
+                        let w = self.members[m]
+                            .issue(Request::write(pstart, len), t)
+                            .map_err(|_| exhausted(m))?;
+                        self.members[m].note_words(&words);
+                        self.members[m].store.write(pstart, &words);
+                        t = t.max(w.completion);
+                        self.stats.member_cmds += 1;
+                        repaired += len;
+                    }
+                }
+            }
+            VolumeKind::Raid5 => {
+                let rounds = self.layout.rounds().to_vec();
+                for info in &rounds {
+                    let mut syndrome = vec![0u64; info.len as usize];
+                    let mut reads_done = t;
+                    for m in 0..self.members.len() {
+                        let src = info.pstarts[m];
+                        let c = self.members[m]
+                            .issue(Request::read(src, info.len), t)
+                            .map_err(|_| exhausted(m))?;
+                        reads_done = reads_done.max(c.completion);
+                        self.stats.member_cmds += 1;
+                        for (o, w) in syndrome.iter_mut().enumerate() {
+                            *w ^= self.members[m].store.word(src + o as u64);
+                        }
+                    }
+                    t = reads_done;
+                    checked += info.len;
+                    let bad = syndrome.iter().filter(|&&w| w != 0).count() as u64;
+                    if bad == 0 {
+                        continue;
+                    }
+                    mismatched += bad;
+                    // Recompute the parity column from the data columns
+                    // (equivalently: old parity XOR syndrome).
+                    let p = info.parity;
+                    let pdst = info.pstarts[p];
+                    let words: Vec<u64> = (0..info.len as usize)
+                        .map(|o| self.members[p].store.word(pdst + o as u64) ^ syndrome[o])
+                        .collect();
+                    let w = self.members[p]
+                        .issue(Request::write(pdst, info.len), t)
+                        .map_err(|_| exhausted(p))?;
+                    self.members[p].note_words(&words);
+                    self.members[p].store.write(pdst, &words);
+                    t = t.max(w.completion);
+                    self.stats.member_cmds += 1;
+                    repaired += info.len;
+                }
+            }
+        }
+        reg.add("fleet.scrub.repair_passes", 1);
+        reg.add("fleet.scrub.mismatched_sectors", mismatched);
+        reg.add("fleet.scrub.repaired_sectors", repaired);
+        Ok(RepairReport {
+            checked_sectors: checked,
+            mismatched_sectors: mismatched,
+            repaired_sectors: repaired,
+            started: at,
+            finished: t,
+        })
     }
 }

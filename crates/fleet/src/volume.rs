@@ -3,6 +3,7 @@
 use crate::data::{fill_stores, pattern_word, SectorStore};
 use crate::layout::{Chunk, StripePolicy, VolumeKind, VolumeLayout};
 use crate::FleetError;
+use sim_disk::crash::{words_payload, SectorImage};
 use sim_disk::disk::Disk;
 use sim_disk::request::{Completion, Op, Request};
 use sim_disk::SimTime;
@@ -13,7 +14,7 @@ use traxtent::obs::Registry;
 /// How many times a surfaced [`sim_disk::fault::CommandFault`] is
 /// re-issued before the volume gives up on that member for the access
 /// and falls over to redundancy (or reports the data unrecoverable).
-const FAULT_RETRIES: u32 = 4;
+pub const FAULT_RETRIES: u32 = 4;
 
 /// Builds a member's ground-truth boundary map straight from its drive
 /// geometry, at full confidence — the shortcut for tests and examples
@@ -44,6 +45,16 @@ impl Member {
             }
         }
         Err(())
+    }
+
+    /// Attaches the words just written by the member's last successful
+    /// write command to its crash log (no-op when crash capture is not
+    /// armed). Must be called right after the issuing write, before any
+    /// other command goes to this member.
+    pub(crate) fn note_words(&mut self, words: &[u64]) {
+        if self.disk.crash_log().is_some() {
+            self.disk.note_write_payload(&words_payload(words));
+        }
     }
 }
 
@@ -107,6 +118,9 @@ pub struct Volume {
     pub(crate) layout: VolumeLayout,
     pub(crate) members: Vec<Member>,
     pub(crate) stats: VolumeStats,
+    /// Per-member base images snapshotted by [`Volume::arm_crash`]; the
+    /// state a power-cut replay starts from.
+    pub(crate) crash_base: Option<Vec<SectorImage>>,
     fill_seed: u64,
     write_seq: u64,
     spans: Option<SpanRecorder>,
@@ -276,6 +290,7 @@ impl Volume {
             layout,
             members,
             stats: VolumeStats::default(),
+            crash_base: None,
             fill_seed: 0,
             write_seq: 0,
             spans: None,
@@ -704,31 +719,49 @@ impl Volume {
                     return Err(FleetError::Unrecoverable { member: m });
                 }
                 let req = Request::write(chunk.pstart, chunk.len);
-                let c = issue_member(&mut self.members[m], m, req, at, sp, "data")
-                    .map_err(|_| FleetError::Unrecoverable { member: m })?;
+                let c =
+                    issue_member(&mut self.members[m], m, req, at, sp, "data").map_err(|_| {
+                        FleetError::RetriesExhausted {
+                            member: m,
+                            attempts: FAULT_RETRIES,
+                        }
+                    })?;
+                self.members[m].note_words(words);
                 self.stats.member_cmds += 1;
                 self.members[m].store.write(chunk.pstart, words);
                 Ok((c.completion, 1, false))
             }
             VolumeKind::Mirrored => {
+                // Two-phase: issue every copy's command first, commit the
+                // data plane only once all of them succeeded — a
+                // retry-exhausted copy must never leave a half-updated
+                // stripe visible to later reads.
                 let mut done = at;
-                let mut cmds = 0;
+                let mut wrote = Vec::new();
                 for m in 0..self.members.len() {
                     if !self.members[m].healthy {
                         continue;
                     }
                     let req = Request::write(chunk.pstart, chunk.len);
-                    let c = issue_member(&mut self.members[m], m, req, at, sp, "copy")
-                        .map_err(|_| FleetError::Unrecoverable { member: m })?;
-                    self.stats.member_cmds += 1;
-                    cmds += 1;
+                    let c = issue_member(&mut self.members[m], m, req, at, sp, "copy").map_err(
+                        |_| FleetError::RetriesExhausted {
+                            member: m,
+                            attempts: FAULT_RETRIES,
+                        },
+                    )?;
+                    self.members[m].note_words(words);
                     done = done.max(c.completion);
-                    self.members[m].store.write(chunk.pstart, words);
+                    wrote.push(m);
                 }
-                if cmds == 0 {
+                if wrote.is_empty() {
                     return Err(FleetError::Unrecoverable {
                         member: chunk.member,
                     });
+                }
+                let cmds = wrote.len() as u32;
+                self.stats.member_cmds += u64::from(cmds);
+                for m in wrote {
+                    self.members[m].store.write(chunk.pstart, words);
                 }
                 let degraded = self.is_degraded();
                 if degraded {
@@ -796,7 +829,11 @@ impl Volume {
                     sp,
                     "data",
                 )
-                .map_err(|_| FleetError::Unrecoverable { member: owner })?;
+                .map_err(|_| FleetError::RetriesExhausted {
+                    member: owner,
+                    attempts: FAULT_RETRIES,
+                })?;
+                self.members[owner].note_words(words);
                 let w2 = issue_member(
                     &mut self.members[parity],
                     parity,
@@ -805,7 +842,11 @@ impl Volume {
                     sp,
                     "parity",
                 )
-                .map_err(|_| FleetError::Unrecoverable { member: parity })?;
+                .map_err(|_| FleetError::RetriesExhausted {
+                    member: parity,
+                    attempts: FAULT_RETRIES,
+                })?;
+                self.members[parity].note_words(&new_parity);
                 self.members[owner].store.write(chunk.pstart, words);
                 self.members[parity].store.write(ppstart, &new_parity);
                 self.stats.member_cmds += 4;
@@ -852,7 +893,11 @@ impl Volume {
                     sp,
                     "parity",
                 )
-                .map_err(|_| FleetError::Unrecoverable { member: parity })?;
+                .map_err(|_| FleetError::RetriesExhausted {
+                    member: parity,
+                    attempts: FAULT_RETRIES,
+                })?;
+                self.members[parity].note_words(&new_parity);
                 cmds += 1;
                 self.members[parity].store.write(ppstart, &new_parity);
                 self.stats.member_cmds += cmds as u64;
@@ -872,7 +917,11 @@ impl Volume {
                     sp,
                     "data",
                 )
-                .map_err(|_| FleetError::Unrecoverable { member: owner })?;
+                .map_err(|_| FleetError::RetriesExhausted {
+                    member: owner,
+                    attempts: FAULT_RETRIES,
+                })?;
+                self.members[owner].note_words(words);
                 self.members[owner].store.write(chunk.pstart, words);
                 self.stats.member_cmds += 1;
                 self.stats.degraded_writes += 1;

@@ -9,6 +9,7 @@
 //! cleaning both reads and rewrites live sectors, exactly the `N_clean_read
 //! + N_clean_written` terms of the metric.
 
+use crate::error::LfsError;
 use crate::segments::SegmentTable;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -127,9 +128,11 @@ impl LfsSim {
             cleaner_passes: 0,
         };
         // Initial fill: write every logical sector once (not tallied — the
-        // metric covers steady-state behaviour).
+        // metric covers steady-state behaviour). The fill fits by the
+        // capacity assertion above, so failure here is a construction bug.
         for logical in 0..live_target {
-            sim.append(logical as usize, false);
+            sim.append(logical as usize, false)
+                .expect("initial fill fits within capacity");
         }
         sim.tally = WriteTally::default();
         sim
@@ -181,8 +184,16 @@ impl LfsSim {
 
     /// Debug helper: run `updates` overwrites with an explicit seed offset
     /// (used by consistency-check harnesses).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`LfsError`] from the update stream.
     #[doc(hidden)]
-    pub fn run_updates_dbg(&mut self, updates: u64, seed_offset: u64) -> WriteTally {
+    pub fn run_updates_dbg(
+        &mut self,
+        updates: u64,
+        seed_offset: u64,
+    ) -> Result<WriteTally, LfsError> {
         let saved = self.config.seed;
         self.config.seed = saved.wrapping_add(seed_offset);
         let t = self.run_updates(updates);
@@ -211,7 +222,14 @@ impl LfsSim {
 
     /// Runs `updates` logical-sector overwrites with the configured
     /// hot/cold skew and returns the final tally.
-    pub fn run_updates(&mut self, updates: u64) -> WriteTally {
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`LfsError`] hit by the writer or the cleaner
+    /// (segment accounting violation, missing victim, or an exhausted
+    /// cleaning reserve). The tally reflects work completed before the
+    /// failure.
+    pub fn run_updates(&mut self, updates: u64) -> Result<WriteTally, LfsError> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let n = self.location.len();
         let hot_n = ((n as f64) * self.config.hot_data_frac).max(1.0) as usize;
@@ -221,63 +239,65 @@ impl LfsSim {
             } else {
                 rng.gen_range(0..n)
             };
-            self.overwrite(logical);
+            self.overwrite(logical)?;
         }
-        self.tally
+        Ok(self.tally)
     }
 
     /// Overwrites one logical sector: kill the old copy, append the new.
-    fn overwrite(&mut self, logical: usize) {
+    fn overwrite(&mut self, logical: usize) -> Result<(), LfsError> {
         if let Some(seg) = self.location[logical] {
             self.unindex(seg);
-            self.table.remove_live(seg, 1);
+            self.table.remove_live(seg, 1)?;
             self.index(seg);
             // Clear the stale pointer *before* appending: the append may
             // trigger cleaning, and the cleaner must not relocate the dead
             // copy.
             self.location[logical] = None;
         }
-        self.append(logical, true);
+        self.append(logical, true)
     }
 
     /// Appends a (re)written logical sector to the open segment, rolling to
     /// a fresh segment — and cleaning — as needed. `tallied` distinguishes
     /// application writes from the untallied initial fill.
-    fn append(&mut self, logical: usize, tallied: bool) {
+    fn append(&mut self, logical: usize, tallied: bool) -> Result<(), LfsError> {
         if self.open_fill >= self.table.get(self.open).len {
-            self.roll_segment();
+            self.roll_segment()?;
         }
         self.open_fill += 1;
         self.unindex(self.open);
-        self.table.add_live(self.open, 1);
+        self.table.add_live(self.open, 1)?;
         self.index(self.open);
         self.location[logical] = Some(self.open);
         if tallied {
             self.tally.new_written += 1;
         }
+        Ok(())
     }
 
     /// Closes the open segment and opens an empty one, cleaning if the
     /// reserve is low.
-    fn roll_segment(&mut self) {
+    fn roll_segment(&mut self) -> Result<(), LfsError> {
         while self.empty.len() < self.config.reserve_segments {
-            self.clean_one();
+            self.clean_one()?;
         }
-        self.open = self.empty.pop().expect("reserve maintained");
+        self.open = self.empty.pop().ok_or(LfsError::ReserveExhausted)?;
         self.open_fill = self.table.get(self.open).live; // 0 for empty segments
         debug_assert_eq!(self.open_fill, 0);
+        Ok(())
     }
 
     /// Cleans the lowest-utilization victim: reads its live sectors and
     /// appends them to the log.
-    fn clean_one(&mut self) {
+    fn clean_one(&mut self) -> Result<(), LfsError> {
         self.cleaner_passes += 1;
         let victim = self
             .by_util
             .iter()
             .find(|&&(_, seg)| seg != self.open && self.table.get(seg).live > 0)
             .map(|&(_, seg)| seg)
-            .expect("a non-empty victim exists");
+            .ok_or(LfsError::NoCleaningVictim)?;
         let live = self.table.get(victim).live;
         self.tally.clean_read += live;
         // Relocate each live logical sector: find them via the location map
@@ -292,9 +312,9 @@ impl LfsSim {
             }
             if self.location[logical] == Some(victim) {
                 self.unindex(victim);
-                self.table.remove_live(victim, 1);
+                self.table.remove_live(victim, 1)?;
                 self.index(victim);
-                self.append_cleaned(logical);
+                self.append_cleaned(logical)?;
                 moved += 1;
             }
         }
@@ -303,22 +323,24 @@ impl LfsSim {
         self.table.reset(victim);
         self.index(victim);
         self.empty.push(victim);
+        Ok(())
     }
 
     /// Appends a cleaned sector (counts as cleaner write).
-    fn append_cleaned(&mut self, logical: usize) {
+    fn append_cleaned(&mut self, logical: usize) -> Result<(), LfsError> {
         if self.open_fill >= self.table.get(self.open).len {
             // Cleaning must not recurse into cleaning: the reserve exists so
             // a fresh segment is always available here.
-            self.open = self.empty.pop().expect("cleaning reserve exhausted");
+            self.open = self.empty.pop().ok_or(LfsError::ReserveExhausted)?;
             self.open_fill = 0;
         }
         self.open_fill += 1;
         self.unindex(self.open);
-        self.table.add_live(self.open, 1);
+        self.table.add_live(self.open, 1)?;
         self.index(self.open);
         self.location[logical] = Some(self.open);
         self.tally.clean_written += 1;
+        Ok(())
     }
 
     fn util_key(&self, seg: usize) -> (u64, usize) {
@@ -339,6 +361,11 @@ impl LfsSim {
 
 /// Convenience: steady-state write cost for fixed segments of
 /// `segment_sectors` over `capacity`, after `updates` skewed overwrites.
+///
+/// # Panics
+///
+/// Panics if the update stream hits an accounting error — impossible for
+/// a well-formed configuration, so the figure binaries treat it as fatal.
 pub fn write_cost_fixed(
     capacity: u64,
     segment_sectors: u64,
@@ -346,7 +373,9 @@ pub fn write_cost_fixed(
     config: LfsConfig,
 ) -> f64 {
     let mut sim = LfsSim::fixed(capacity, segment_sectors, config);
-    sim.run_updates(updates).write_cost()
+    sim.run_updates(updates)
+        .expect("well-formed config never breaks accounting")
+        .write_cost()
 }
 
 #[cfg(test)]
@@ -359,7 +388,7 @@ mod tests {
     fn liveness_is_conserved() {
         let mut sim = LfsSim::fixed(CAP, 512, LfsConfig::default());
         let before = sim.live_sectors();
-        sim.run_updates(20_000);
+        sim.run_updates(20_000).unwrap();
         assert_eq!(
             sim.live_sectors(),
             before,
@@ -370,7 +399,7 @@ mod tests {
     #[test]
     fn write_cost_at_least_one() {
         let mut sim = LfsSim::fixed(CAP, 512, LfsConfig::default());
-        let t = sim.run_updates(20_000);
+        let t = sim.run_updates(20_000).unwrap();
         assert!(t.write_cost() >= 1.0);
         assert_eq!(
             t.clean_read, t.clean_written,
@@ -393,7 +422,7 @@ mod tests {
     fn track_matched_segments_work() {
         let tb = traxtent::TrackBoundaries::uniform(128, 512);
         let mut sim = LfsSim::track_matched(&tb, LfsConfig::default());
-        let t = sim.run_updates(20_000);
+        let t = sim.run_updates(20_000).unwrap();
         assert!(t.write_cost() >= 1.0);
         assert_eq!(sim.live_sectors(), (tb.capacity() as f64 * 0.75) as u64);
     }
@@ -437,7 +466,7 @@ mod tests {
     #[test]
     fn metrics_account_for_the_run() {
         let mut sim = LfsSim::fixed(CAP, 512, LfsConfig::default());
-        let t = sim.run_updates(20_000);
+        let t = sim.run_updates(20_000).unwrap();
         assert!(sim.cleaner_passes() > 0, "the reserve forces cleaning");
         let hist = sim.segment_utilization_histogram();
         assert_eq!(

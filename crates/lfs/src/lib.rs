@@ -20,11 +20,22 @@
 //! Matching segments to track boundaries needs variable-sized segments;
 //! [`segments::SegmentTable`] is the augmented segment-usage table of
 //! §5.5.1, carrying each segment's start LBN and length.
+//!
+//! For crash-consistency experiments, [`recovery`] layers a byte-level
+//! checkpointed log onto the simulated disk: batches append atomically
+//! behind a pair of alternating checkpoint sectors, and after a power cut
+//! [`recovery::recover`] rolls forward from the newest durable checkpoint,
+//! discarding any torn tail. Accounting violations across the crate
+//! surface as the typed [`LfsError`] rather than panics.
 
 #![warn(missing_docs)]
 
 pub mod cleaner;
+pub mod error;
+pub mod recovery;
 pub mod segments;
+
+pub use error::LfsError;
 
 use sim_disk::disk::{Disk, DiskConfig, Request};
 use sim_disk::SimTime;

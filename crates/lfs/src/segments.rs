@@ -5,6 +5,7 @@
 //! requires augmenting each entry with a starting LBN and a length, set
 //! from the track-boundary table at initialization.
 
+use crate::error::LfsError;
 use traxtent::{Extent, TrackBoundaries};
 
 /// One segment's bookkeeping.
@@ -78,25 +79,42 @@ impl SegmentTable {
 
     /// Adds `n` live sectors to segment `i`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if liveness would exceed the segment length.
-    pub fn add_live(&mut self, i: usize, n: u64) {
+    /// Returns [`LfsError::SegmentOverfilled`] if liveness would exceed
+    /// the segment length (the accounting is left untouched).
+    pub fn add_live(&mut self, i: usize, n: u64) -> Result<(), LfsError> {
         let s = &mut self.segments[i];
-        assert!(s.live + n <= s.len, "segment {i} over-filled");
+        if s.live + n > s.len {
+            return Err(LfsError::SegmentOverfilled {
+                segment: i,
+                live: s.live,
+                len: s.len,
+                add: n,
+            });
+        }
         s.live += n;
+        Ok(())
     }
 
     /// Removes `n` live sectors from segment `i` (data overwritten or
     /// deleted elsewhere).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the segment has fewer than `n` live sectors.
-    pub fn remove_live(&mut self, i: usize, n: u64) {
+    /// Returns [`LfsError::SegmentUnderflowed`] if the segment has fewer
+    /// than `n` live sectors (the accounting is left untouched).
+    pub fn remove_live(&mut self, i: usize, n: u64) -> Result<(), LfsError> {
         let s = &mut self.segments[i];
-        assert!(s.live >= n, "segment {i} under-flowed");
+        if s.live < n {
+            return Err(LfsError::SegmentUnderflowed {
+                segment: i,
+                live: s.live,
+                remove: n,
+            });
+        }
         s.live -= n;
+        Ok(())
     }
 
     /// Marks segment `i` empty (after cleaning).
@@ -165,27 +183,43 @@ mod tests {
     #[test]
     fn liveness_accounting() {
         let mut t = SegmentTable::fixed(1000, 100);
-        t.add_live(0, 60);
-        t.add_live(1, 10);
+        t.add_live(0, 60).unwrap();
+        t.add_live(1, 10).unwrap();
         assert_eq!(t.total_live(), 70);
         assert!((t.utilization(0) - 0.6).abs() < 1e-12);
-        t.remove_live(0, 30);
+        t.remove_live(0, 30).unwrap();
         assert_eq!(t.best_cleaning_victim(), Some(1));
         t.reset(1);
         assert_eq!(t.empty_segments().len(), 9);
     }
 
     #[test]
-    #[should_panic(expected = "over-filled")]
-    fn overfill_panics() {
+    fn overfill_is_a_typed_error_and_leaves_state_intact() {
         let mut t = SegmentTable::fixed(100, 50);
-        t.add_live(0, 51);
+        assert_eq!(
+            t.add_live(0, 51),
+            Err(LfsError::SegmentOverfilled {
+                segment: 0,
+                live: 0,
+                len: 50,
+                add: 51,
+            })
+        );
+        assert_eq!(t.get(0).live, 0, "failed add must not change liveness");
     }
 
     #[test]
-    #[should_panic(expected = "under-flowed")]
-    fn underflow_panics() {
+    fn underflow_is_a_typed_error_and_leaves_state_intact() {
         let mut t = SegmentTable::fixed(100, 50);
-        t.remove_live(0, 1);
+        t.add_live(0, 5).unwrap();
+        assert_eq!(
+            t.remove_live(0, 6),
+            Err(LfsError::SegmentUnderflowed {
+                segment: 0,
+                live: 5,
+                remove: 6,
+            })
+        );
+        assert_eq!(t.get(0).live, 5, "failed remove must not change liveness");
     }
 }

@@ -187,6 +187,13 @@ impl ScsiDisk {
         !self.disk.config().fault.diagnostics_unsupported
     }
 
+    /// Drains the firmware's buffer of LBNs that needed a recovered media
+    /// retry (see [`sim_disk::disk::Disk::take_recent_error_lbns`]). The
+    /// self-healing loop polls this to find suspect tracks.
+    pub fn take_recent_error_lbns(&mut self) -> Vec<u64> {
+        self.disk.take_recent_error_lbns()
+    }
+
     /// Consumes the wrapper, returning the drive.
     pub fn into_inner(self) -> Disk {
         self.disk

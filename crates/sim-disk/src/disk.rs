@@ -91,6 +91,15 @@ pub struct Disk {
     trace_scratch: Vec<TraceEvent>,
     /// Running totals of injected faults (all zero with faults off).
     fault_stats: FaultStats,
+    /// Optional per-write durability log for power-cut simulation
+    /// ([`crate::crash`]). `None` (the default) costs one branch per
+    /// write; when attached, timing stays bit-identical (the per-sector
+    /// scan it forces matches the closed form exactly).
+    crash_log: Option<Box<crate::crash::CrashLog>>,
+    /// LBNs of recently recovered media errors, oldest first, capped at
+    /// [`Disk::ERROR_LBN_CAP`]; drained by self-healing scrubbers via
+    /// [`Disk::take_recent_error_lbns`]. Empty with faults off.
+    recent_error_lbns: Vec<u64>,
 }
 
 /// One mechanical stop during a request: a track (or a remapped sector's
@@ -148,8 +157,14 @@ impl Disk {
             busy_ns: 0,
             trace_scratch: Vec::new(),
             fault_stats: FaultStats::default(),
+            crash_log: None,
+            recent_error_lbns: Vec::new(),
         }
     }
+
+    /// Cap on the recovered-media-error LBN backlog kept for
+    /// self-healing scrubbers.
+    pub const ERROR_LBN_CAP: usize = 64;
 
     /// The drive's layout.
     pub fn geometry(&self) -> &DiskGeometry {
@@ -210,6 +225,51 @@ impl Disk {
     /// survive [`Disk::reset`].
     pub fn fault_stats(&self) -> FaultStats {
         self.fault_stats
+    }
+
+    /// Starts logging per-write per-sector durability for power-cut
+    /// simulation (see [`crate::crash`]). Idempotent; timing stays
+    /// bit-identical with the log attached. Like the request sequence
+    /// number, the log survives [`Disk::reset`] (a power cycle does not
+    /// rewrite history).
+    pub fn enable_crash_log(&mut self) {
+        if self.crash_log.is_none() {
+            self.crash_log = Some(Box::default());
+        }
+    }
+
+    /// The attached crash log, if any.
+    pub fn crash_log(&self) -> Option<&crate::crash::CrashLog> {
+        self.crash_log.as_deref()
+    }
+
+    /// Detaches and returns the crash log, disabling further logging.
+    pub fn take_crash_log(&mut self) -> Option<crate::crash::CrashLog> {
+        self.crash_log.take().map(|b| *b)
+    }
+
+    /// Attaches the sector contents of the most recently serviced write
+    /// to the crash log (`payload` is `len * SECTOR_BYTES` bytes in LBN
+    /// order). No-op when no crash log is attached, so issuing layers
+    /// can call it unconditionally.
+    ///
+    /// # Panics
+    ///
+    /// With a log attached, panics if the last logged command already
+    /// has a payload, no write was logged yet, or the length is wrong —
+    /// see [`crate::crash::CrashLog::attach_payload`].
+    pub fn note_write_payload(&mut self, payload: &[u8]) {
+        if let Some(log) = self.crash_log.as_deref_mut() {
+            log.attach_payload(payload.to_vec());
+        }
+    }
+
+    /// Drains the backlog of LBNs whose media errors the firmware
+    /// recovered by retrying (oldest first, capped at
+    /// [`Disk::ERROR_LBN_CAP`]). Self-healing scrubbers map these to
+    /// suspect tracks; always empty with fault injection off.
+    pub fn take_recent_error_lbns(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.recent_error_lbns)
     }
 
     /// Attaches (or, with `None`, detaches) a trace sink on a built drive.
@@ -627,14 +687,33 @@ impl Disk {
                 dur: breakdown.queue.as_ns(),
             });
         }
+        // With a crash log attached the per-sector scan collects each
+        // sector's media instant; the scan is bit-identical in timing to
+        // the closed form it replaces (rotation_props proves this), so
+        // logging never perturbs results.
+        let want_avail = self.crash_log.is_some();
         let media_end = self.run_visits(
             pos_start,
             Some(all_buffered),
-            false,
+            want_avail,
             &mut breakdown,
             &mut trc,
         );
         self.actuator_free = media_end;
+        if want_avail {
+            debug_assert_eq!(self.avail_scratch.len() as u64, req.len);
+            let durable = self.avail_scratch.clone();
+            if let Some(log) = self.crash_log.as_deref_mut() {
+                log.records.push(crate::crash::WriteRecord {
+                    req: trc.rid,
+                    lbn: req.lbn,
+                    len: req.len,
+                    issue,
+                    durable,
+                    payload: None,
+                });
+            }
+        }
 
         Completion {
             request: req,
@@ -733,6 +812,7 @@ impl Disk {
             ref mut cur_cyl,
             ref mut cur_head,
             ref mut fault_stats,
+            ref mut recent_error_lbns,
             ..
         } = *self;
         let geom = &config.geometry;
@@ -924,6 +1004,9 @@ impl Disk {
                     let rev = spindle.revolution();
                     media_errors += 1;
                     let bad = v.lbn + fault.failing_sector(trc.rid, vi as u64, sectors);
+                    if recent_error_lbns.len() < Self::ERROR_LBN_CAP {
+                        recent_error_lbns.push(bad);
+                    }
                     if trc.on {
                         trc.events.push(TraceEvent::Fault {
                             req: trc.rid,

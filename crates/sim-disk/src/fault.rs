@@ -232,33 +232,62 @@ impl FaultConfig {
     ///
     /// `<dist>` is `uniform:<frac>` or `gauss:<frac>` with `0 < frac ≤ 1`
     /// (e.g. `gauss:0.05`). The seed is set separately (`--fault-seed`).
+    /// Each key may appear at most once: a repeated key is a
+    /// [`SpecError::DuplicateKey`], never a silent last-one-wins.
     ///
     /// ```
-    /// use sim_disk::fault::{FaultConfig, Jitter};
+    /// use sim_disk::fault::{FaultConfig, Jitter, SpecError};
     /// let f = FaultConfig::parse_spec("media=500,rot=gauss:0.05,nodiag").unwrap();
     /// assert_eq!(f.media_per_million, 500);
     /// assert_eq!(f.rot_jitter, Jitter::Gaussian(0.05));
     /// assert!(f.diagnostics_unsupported);
     /// assert!(FaultConfig::parse_spec("media=lots").is_err());
+    /// assert_eq!(
+    ///     FaultConfig::parse_spec("media=1,media=2"),
+    ///     Err(SpecError::DuplicateKey { key: "media".to_string() })
+    /// );
     /// ```
-    pub fn parse_spec(spec: &str) -> Result<FaultConfig, String> {
+    pub fn parse_spec(spec: &str) -> Result<FaultConfig, SpecError> {
         let mut cfg = FaultConfig::default();
         if spec.trim().is_empty() {
-            return Err("empty --faults spec".into());
+            return Err(SpecError::Empty);
         }
+        // One bit per known key, in KNOWN_KEYS order, to reject duplicates.
+        let mut seen = [false; KNOWN_KEYS.len()];
+        let mut mark = |key: &str| -> Result<(), SpecError> {
+            let idx = KNOWN_KEYS.iter().position(|&k| k == key).expect("known");
+            if seen[idx] {
+                return Err(SpecError::DuplicateKey {
+                    key: key.to_string(),
+                });
+            }
+            seen[idx] = true;
+            Ok(())
+        };
         for part in spec.split(',') {
             let part = part.trim();
             if part == "nodiag" {
+                mark("nodiag")?;
                 cfg.diagnostics_unsupported = true;
                 continue;
             }
-            let (key, value) = part
-                .split_once('=')
-                .ok_or_else(|| format!("fault entry `{part}` is not `key=value` or `nodiag`"))?;
-            let ppm = |v: &str| -> Result<u32, String> {
-                v.parse::<u32>()
-                    .map_err(|_| format!("fault rate `{v}` for `{key}` is not a whole per-million"))
+            let (key, value) = part.split_once('=').ok_or_else(|| SpecError::NotKeyValue {
+                entry: part.to_string(),
+            })?;
+            let ppm = |v: &str| -> Result<u32, SpecError> {
+                v.parse::<u32>().map_err(|_| SpecError::BadRate {
+                    key: key.to_string(),
+                    value: v.to_string(),
+                })
             };
+            match key {
+                "media" | "grown" | "transient" | "seek" | "hs" | "rot" => mark(key)?,
+                other => {
+                    return Err(SpecError::UnknownKey {
+                        key: other.to_string(),
+                    })
+                }
+            }
             match key {
                 "media" => cfg.media_per_million = ppm(value)?,
                 "grown" => cfg.grown_per_million = ppm(value)?,
@@ -266,32 +295,126 @@ impl FaultConfig {
                 "seek" => cfg.seek_jitter = parse_jitter(value)?,
                 "hs" => cfg.head_switch_jitter = parse_jitter(value)?,
                 "rot" => cfg.rot_jitter = parse_jitter(value)?,
-                other => {
-                    return Err(format!(
-                        "unknown fault key `{other}` (known: media, grown, transient, \
-                         seek, hs, rot, nodiag)"
-                    ))
-                }
+                _ => unreachable!("filtered above"),
             }
         }
         Ok(cfg)
     }
 }
 
-fn parse_jitter(value: &str) -> Result<Jitter, String> {
+/// Every key the `--faults` grammar accepts, in documentation order.
+const KNOWN_KEYS: [&str; 7] = ["media", "grown", "transient", "seek", "hs", "rot", "nodiag"];
+
+/// Why a `--faults` spec failed to parse (see
+/// [`FaultConfig::parse_spec`]). Typed so callers can branch on the
+/// failure instead of substring-matching a message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The spec was empty or all whitespace.
+    Empty,
+    /// An entry was neither `key=value` nor `nodiag`.
+    NotKeyValue {
+        /// The offending entry.
+        entry: String,
+    },
+    /// A rate value was not a whole per-million count.
+    BadRate {
+        /// The entry's key.
+        key: String,
+        /// The unparseable value.
+        value: String,
+    },
+    /// The key is not part of the grammar.
+    UnknownKey {
+        /// The unknown key.
+        key: String,
+    },
+    /// The same key appeared more than once in one spec.
+    DuplicateKey {
+        /// The repeated key.
+        key: String,
+    },
+    /// A jitter value was not `uniform:<frac>`/`gauss:<frac>`.
+    BadJitterShape {
+        /// The offending value.
+        value: String,
+    },
+    /// A jitter fraction failed to parse as a number.
+    BadJitterFraction {
+        /// The unparseable fraction.
+        frac: String,
+    },
+    /// A jitter fraction parsed but fell outside `(0, 1]`.
+    JitterFractionRange {
+        /// The out-of-range fraction.
+        frac: f64,
+    },
+    /// The jitter distribution name is not `uniform` or `gauss`.
+    UnknownJitter {
+        /// The unknown distribution name.
+        kind: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Empty => write!(f, "empty --faults spec"),
+            SpecError::NotKeyValue { entry } => {
+                write!(f, "fault entry `{entry}` is not `key=value` or `nodiag`")
+            }
+            SpecError::BadRate { key, value } => {
+                write!(
+                    f,
+                    "fault rate `{value}` for `{key}` is not a whole per-million"
+                )
+            }
+            SpecError::UnknownKey { key } => write!(
+                f,
+                "unknown fault key `{key}` (known: media, grown, transient, seek, hs, rot, nodiag)"
+            ),
+            SpecError::DuplicateKey { key } => {
+                write!(f, "duplicate fault key `{key}` in one spec")
+            }
+            SpecError::BadJitterShape { value } => {
+                write!(
+                    f,
+                    "jitter `{value}` is not `uniform:<frac>` or `gauss:<frac>`"
+                )
+            }
+            SpecError::BadJitterFraction { frac } => {
+                write!(f, "jitter fraction `{frac}` is not a number")
+            }
+            SpecError::JitterFractionRange { frac } => {
+                write!(f, "jitter fraction {frac} must be in (0, 1]")
+            }
+            SpecError::UnknownJitter { kind } => {
+                write!(f, "unknown jitter distribution `{kind}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn parse_jitter(value: &str) -> Result<Jitter, SpecError> {
     let (kind, frac) = value
         .split_once(':')
-        .ok_or_else(|| format!("jitter `{value}` is not `uniform:<frac>` or `gauss:<frac>`"))?;
-    let frac: f64 = frac
-        .parse()
-        .map_err(|_| format!("jitter fraction `{frac}` is not a number"))?;
+        .ok_or_else(|| SpecError::BadJitterShape {
+            value: value.to_string(),
+        })?;
+    let frac: f64 = frac.parse().map_err(|_| SpecError::BadJitterFraction {
+        frac: frac.to_string(),
+    })?;
     if !(frac > 0.0 && frac <= 1.0) {
-        return Err(format!("jitter fraction {frac} must be in (0, 1]"));
+        return Err(SpecError::JitterFractionRange { frac });
     }
     match kind {
         "uniform" => Ok(Jitter::Uniform(frac)),
         "gauss" => Ok(Jitter::Gaussian(frac)),
-        other => Err(format!("unknown jitter distribution `{other}`")),
+        other => Err(SpecError::UnknownJitter {
+            kind: other.to_string(),
+        }),
     }
 }
 
@@ -501,10 +624,71 @@ mod tests {
             ("rot=gauss:nan", "must be in (0, 1]"), // NaN parses but fails the range check
             ("rot=gauss:1.5", "must be in (0, 1]"),
             ("rot=gauss:0", "must be in (0, 1]"),
+            ("media=1,media=2", "duplicate fault key"),
         ] {
             let err = FaultConfig::parse_spec(spec).unwrap_err();
-            assert!(err.contains(needle), "spec `{spec}`: {err}");
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "spec `{spec}`: {msg}");
         }
+    }
+
+    #[test]
+    fn spec_rejects_duplicate_keys_with_a_typed_error() {
+        for (spec, key) in [
+            ("media=1,media=2", "media"),
+            ("media=1,grown=2,grown=3", "grown"),
+            ("transient=5, transient=5", "transient"), // even identical values
+            ("seek=uniform:0.1,seek=gauss:0.1", "seek"),
+            ("hs=gauss:0.1,rot=gauss:0.1,hs=gauss:0.2", "hs"),
+            ("rot=gauss:0.1,rot=gauss:0.1", "rot"),
+            ("nodiag,nodiag", "nodiag"),
+        ] {
+            assert_eq!(
+                FaultConfig::parse_spec(spec),
+                Err(SpecError::DuplicateKey {
+                    key: key.to_string()
+                }),
+                "spec `{spec}`"
+            );
+        }
+        // A key repeated across *different* specs is fine — duplication is
+        // judged within one spec only.
+        assert!(FaultConfig::parse_spec("media=1").is_ok());
+        assert!(FaultConfig::parse_spec("media=2").is_ok());
+    }
+
+    #[test]
+    fn spec_errors_are_matchable_variants() {
+        use SpecError::*;
+        assert_eq!(FaultConfig::parse_spec(" "), Err(Empty));
+        assert!(matches!(
+            FaultConfig::parse_spec("media"),
+            Err(NotKeyValue { .. })
+        ));
+        assert!(matches!(
+            FaultConfig::parse_spec("media=lots"),
+            Err(BadRate { .. })
+        ));
+        assert!(matches!(
+            FaultConfig::parse_spec("bogus=1"),
+            Err(UnknownKey { .. })
+        ));
+        assert!(matches!(
+            FaultConfig::parse_spec("seek=0.05"),
+            Err(BadJitterShape { .. })
+        ));
+        assert!(matches!(
+            FaultConfig::parse_spec("seek=gauss:abc"),
+            Err(BadJitterFraction { .. })
+        ));
+        assert!(matches!(
+            FaultConfig::parse_spec("seek=gauss:2"),
+            Err(JitterFractionRange { .. })
+        ));
+        assert!(matches!(
+            FaultConfig::parse_spec("seek=cauchy:0.5"),
+            Err(UnknownJitter { .. })
+        ));
     }
 
     #[test]

@@ -44,6 +44,7 @@
 
 pub mod bus;
 pub mod cache;
+pub mod crash;
 pub mod defects;
 pub mod disk;
 pub mod fault;

@@ -20,7 +20,10 @@ fn main() {
     for sectors in [128u64, 256, track, 1024, 2048] {
         let cap = capacity.max(sectors * 32);
         let mut sim = LfsSim::fixed(cap, sectors, LfsConfig::default());
-        let wc = sim.run_updates(cap * 2).write_cost();
+        let wc = sim
+            .run_updates(cap * 2)
+            .expect("sweep capacities leave cleaning headroom")
+            .write_cost();
         let ti = transfer_inefficiency(&disk, sectors, true, 150, 1);
         let owc = wc * ti;
         if owc < best.1 {
